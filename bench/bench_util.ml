@@ -1,0 +1,71 @@
+(* Shared plumbing for the paper-table harness: wall-clock timing, dataset
+   caching, candidate-set preparation, and fixed-width table printing. *)
+
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+
+let bench_seed = 2014 (* ICDE 2014 *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_only f = snd (time f)
+
+(* ---- dataset cache ------------------------------------------------------ *)
+
+type tiers = {
+  full : Dataset.t;
+  sky : Dataset.t;
+  happy : Dataset.t;
+  t_sky : float;  (** seconds to compute the skyline *)
+  t_happy : float;  (** seconds for the happy filter, on top of the skyline *)
+}
+
+let cache : (string, tiers) Hashtbl.t = Hashtbl.create 16
+
+let tiers_of ?(d = 6) ~n name =
+  let key = Printf.sprintf "%s/%d/%d" name n d in
+  match Hashtbl.find_opt cache key with
+  | Some t -> t
+  | None ->
+      let full = Generator.by_name name (Rng.create bench_seed) ~n ~d in
+      let sky, t_sky = time (fun () -> Skyline.of_dataset full) in
+      let (happy_idx, t_happy) =
+        time (fun () -> Happy.happy_points sky.Dataset.points)
+      in
+      let happy =
+        { (Dataset.sub sky ~indices:happy_idx) with Dataset.name = name ^ "/happy" }
+      in
+      let t = { full; sky; happy; t_sky; t_happy } in
+      Hashtbl.replace cache key t;
+      t
+
+(* the four simulated real datasets, at the bench's laptop scale *)
+let real_scale = ref 10_000
+let real_datasets () =
+  List.map (fun name -> (name, tiers_of ~n:!real_scale name)) Generator.real_like_names
+
+(* ---- table printing ------------------------------------------------------ *)
+
+let header title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let note fmt = Fmt.pr ("  # " ^^ fmt ^^ "@.")
+
+let cells widths row =
+  List.iteri
+    (fun i cell ->
+      let w = try List.nth widths i with _ -> 12 in
+      Fmt.pr "%-*s" (w + 2) cell)
+    row;
+  Fmt.pr "@."
+
+let seconds t =
+  if t < 1e-4 then Printf.sprintf "%.1fus" (1e6 *. t)
+  else if t < 0.1 then Printf.sprintf "%.2fms" (1e3 *. t)
+  else Printf.sprintf "%.3fs" t

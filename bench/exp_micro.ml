@@ -1,0 +1,76 @@
+(* Bechamel micro-benchmarks: one statistically-measured kernel per paper
+   artifact, sized so a single iteration is micro/millisecond scale. The
+   paper-shape numbers come from the harness sections; these isolate the
+   per-operation costs behind them. *)
+
+open Bechamel
+open Toolkit
+module Dataset = Kregret_dataset.Dataset
+module Dual_polytope = Kregret_hull.Dual_polytope
+module Regret_lp = Kregret_lp.Regret_lp
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Geo_greedy = Kregret.Geo_greedy
+module Greedy_lp = Kregret.Greedy_lp
+module Stored_list = Kregret.Stored_list
+
+let tests () =
+  let t = Bench_util.tiers_of ~d:5 ~n:4_000 "anti_correlated" in
+  let happy = t.Bench_util.happy.Dataset.points in
+  let small =
+    Array.init (min 150 (Array.length happy)) (fun i -> happy.(i))
+  in
+  let selected =
+    (* boundary points first, per the library's precondition *)
+    List.map (fun i -> small.(i)) (Geo_greedy.boundary_seeds small 5)
+    @ List.filteri (fun i _ -> i mod 10 = 0) (Array.to_list small)
+  in
+  let dp = Dual_polytope.create ~dim:5 () in
+  List.iter (fun p -> ignore (Dual_polytope.insert dp p)) selected;
+  let probe = happy.(Array.length happy - 1) in
+  let sl = Stored_list.preprocess ~max_length:32 small in
+  let full_points = t.Bench_util.full.Dataset.points in
+  let sample2k = Array.init (min 2_000 (Array.length full_points)) (fun i -> full_points.(i)) in
+  [
+    Test.make ~name:"lemma1/cr-geometric"
+      (Staged.stage (fun () -> Dual_polytope.critical_ratio dp probe));
+    Test.make ~name:"lemma1/cr-lp"
+      (Staged.stage (fun () -> Regret_lp.critical_ratio ~selected probe));
+    Test.make ~name:"tab3/skyline-sfs-2k"
+      (Staged.stage (fun () -> Skyline.sfs sample2k));
+    Test.make ~name:"tab3/subjugation-pair"
+      (Staged.stage (fun () -> Happy.subjugates small.(0) small.(1)));
+    Test.make ~name:"fig7/geogreedy-k10-150pts"
+      (Staged.stage (fun () -> Geo_greedy.run ~points:small ~k:10 ()));
+    Test.make ~name:"fig9/greedy-k10-150pts"
+      (Staged.stage (fun () -> Greedy_lp.run ~points:small ~k:10 ()));
+    Test.make ~name:"fig9/storedlist-query-k10"
+      (Staged.stage (fun () -> Stored_list.query sl ~k:10));
+  ]
+
+let run () =
+  Bench_util.header "Micro-benchmarks (bechamel, monotonic clock per call)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"kregret" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  List.iter
+    (fun (name, ols) ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      Fmt.pr "  %-36s %12.1f ns/call@." name ns)
+    (List.sort compare rows)

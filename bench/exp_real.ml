@@ -1,0 +1,128 @@
+(* Figures 7-11: the real-dataset sweeps.
+
+   - Fig 7: mrr vs k, algorithms on D_happy (all three algorithms return the
+     same answer, so one mrr column per dataset).
+   - Fig 8: mrr vs k on D_sky (StoredList excluded, as in the paper).
+   - Fig 9: query time vs k on D_happy (Greedy / GeoGreedy / StoredList).
+   - Fig 10: query time vs k on D_sky (Greedy / GeoGreedy).
+   - Fig 11: total time vs k on D_happy (query + preprocessing; StoredList's
+     includes materialization).
+
+   Sizes are laptop-scaled (DESIGN.md section 5): what must reproduce is the
+   ordering and the growth trends, not the absolute milliseconds. *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Geo_greedy = Kregret.Geo_greedy
+module Greedy_lp = Kregret.Greedy_lp
+module Stored_list = Kregret.Stored_list
+module Mrr = Kregret.Mrr
+
+let ks = [ 10; 25; 50; 100 ]
+
+let fig7 () =
+  header "Figure 7 -- mrr vs k on Dhappy (same value for all 3 algorithms)";
+  let widths = 6 :: List.map (fun _ -> 12) (real_datasets ()) in
+  cells widths ("k" :: List.map fst (real_datasets ()));
+  List.iter
+    (fun k ->
+      let row =
+        List.map
+          (fun (_, t) ->
+            let r = Geo_greedy.run ~points:t.happy.Dataset.points ~k () in
+            Printf.sprintf "%.4f" r.Geo_greedy.mrr)
+          (real_datasets ())
+      in
+      cells widths (string_of_int k :: row))
+    ks;
+  note "expected: decreasing in k on every dataset"
+
+let fig8 () =
+  header "Figure 8 -- mrr vs k on Dsky (Greedy = GeoGreedy)";
+  let widths = 6 :: List.map (fun _ -> 12) (real_datasets ()) in
+  cells widths ("k" :: List.map fst (real_datasets ()));
+  List.iter
+    (fun k ->
+      let row =
+        List.map
+          (fun (_, t) ->
+            let r = Geo_greedy.run ~points:t.sky.Dataset.points ~k () in
+            (* report vs the full dataset so Figs 7 and 8 are comparable *)
+            let selected =
+              List.map (fun i -> t.sky.Dataset.points.(i)) r.Geo_greedy.order
+            in
+            Printf.sprintf "%.4f"
+              (Mrr.geometric ~data:(Dataset.to_list t.full) ~selected))
+          (real_datasets ())
+      in
+      cells widths (string_of_int k :: row))
+    ks;
+  note "expected: pointwise >= the Fig 7 values (happy candidates are better)"
+
+let query_times ~candidates k =
+  let points = candidates.Dataset.points in
+  let t_geo = time_only (fun () -> ignore (Geo_greedy.run ~points ~k ())) in
+  let t_lp = time_only (fun () -> ignore (Greedy_lp.run ~points ~k ())) in
+  (t_lp, t_geo)
+
+let fig9 () =
+  header "Figure 9 -- query time vs k on Dhappy";
+  List.iter
+    (fun (name, t) ->
+      Fmt.pr "@.[%s]  |Dhappy| = %d@." name (Dataset.size t.happy);
+      let widths = [ 6; 12; 12; 12 ] in
+      cells widths [ "k"; "Greedy"; "GeoGreedy"; "StoredList" ];
+      let sl = Stored_list.preprocess ~max_length:128 t.happy.Dataset.points in
+      List.iter
+        (fun k ->
+          let t_lp, t_geo = query_times ~candidates:t.happy k in
+          let t_sl = time_only (fun () -> ignore (Stored_list.query sl ~k)) in
+          cells widths
+            [ string_of_int k; seconds t_lp; seconds t_geo; seconds t_sl ])
+        ks)
+    (real_datasets ());
+  note "expected: StoredList << GeoGreedy << Greedy, gaps growing with k"
+
+let fig10 () =
+  header "Figure 10 -- query time vs k on Dsky";
+  List.iter
+    (fun (name, t) ->
+      Fmt.pr "@.[%s]  |Dsky| = %d@." name (Dataset.size t.sky);
+      let widths = [ 6; 12; 12 ] in
+      cells widths [ "k"; "Greedy"; "GeoGreedy" ];
+      List.iter
+        (fun k ->
+          let t_lp, t_geo = query_times ~candidates:t.sky k in
+          cells widths [ string_of_int k; seconds t_lp; seconds t_geo ])
+        ks)
+    (real_datasets ());
+  note "expected: slower than the Fig 9 rows (larger candidate sets)"
+
+let fig11 () =
+  header "Figure 11 -- total time (preprocessing + query) vs k on Dhappy";
+  List.iter
+    (fun (name, t) ->
+      let t_candidates = t.t_sky +. t.t_happy in
+      Fmt.pr "@.[%s]  happy-set construction = %s@." name (seconds t_candidates);
+      let widths = [ 6; 12; 12; 12 ] in
+      cells widths [ "k"; "Greedy"; "GeoGreedy"; "StoredList" ];
+      let sl_build =
+        time_only (fun () ->
+            ignore (Stored_list.preprocess ~max_length:128 t.happy.Dataset.points))
+      in
+      let sl = Stored_list.preprocess ~max_length:128 t.happy.Dataset.points in
+      List.iter
+        (fun k ->
+          let t_lp, t_geo = query_times ~candidates:t.happy k in
+          let t_sl = time_only (fun () -> ignore (Stored_list.query sl ~k)) in
+          cells widths
+            [
+              string_of_int k;
+              seconds (t_candidates +. t_lp);
+              seconds (t_candidates +. t_geo);
+              seconds (t_candidates +. sl_build +. t_sl);
+            ])
+        ks)
+    (real_datasets ());
+  note "expected: StoredList pays its materialization once (largest total),";
+  note "GeoGreedy total < Greedy total"

@@ -1,0 +1,40 @@
+(* Substrate benchmark: the three skyline algorithms and the two candidate
+   reductions across the synthetic distributions. Not a paper figure — the
+   paper treats skyline computation as given preprocessing — but it
+   documents which implementation the pipeline should pick, and how the
+   distribution drives candidate sizes (the mechanism behind Table III). *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Skyline = Kregret_skyline.Skyline
+module Bbs = Kregret_skyline.Bbs
+module Happy = Kregret_happy.Happy
+
+let run () =
+  header "Substrate -- skyline algorithms across distributions (n=20000, d=4)";
+  let widths = [ 16; 8; 10; 10; 10; 10 ] in
+  cells widths [ "distribution"; "|sky|"; "BNL"; "SFS"; "BBS"; "happy-pass" ];
+  List.iter
+    (fun name ->
+      let t = tiers_of ~d:4 ~n:20_000 name in
+      let points = t.full.Dataset.points in
+      let sky_bnl, t_bnl = time (fun () -> Skyline.bnl points) in
+      let sky_sfs, t_sfs = time (fun () -> Skyline.sfs points) in
+      let sky_bbs, t_bbs = time (fun () -> Bbs.of_points points) in
+      assert (Array.length sky_bnl = Array.length sky_sfs);
+      assert (Array.length sky_bbs = Array.length sky_sfs);
+      let sky_points = Array.map (fun i -> points.(i)) sky_sfs in
+      let _, t_happy = time (fun () -> Happy.happy_points sky_points) in
+      cells widths
+        [
+          name;
+          string_of_int (Array.length sky_sfs);
+          seconds t_bnl;
+          seconds t_sfs;
+          seconds t_bbs;
+          seconds t_happy;
+        ])
+    [ "correlated"; "independent"; "anti_correlated" ];
+  note "expected: identical skyline sizes across algorithms; relative speed";
+  note "depends on skyline size vs R-tree build cost; the happy pass is";
+  note "quadratic in |sky|"

@@ -1,0 +1,80 @@
+(* Figures 12 and 13: synthetic anti-correlated sweeps over d, n, k, and the
+   large-k regime. Paper defaults: n = 10,000, d = 6, k = 10; candidate set
+   is D_happy throughout (Section V-C). Our default n is laptop-scaled; the
+   sweeps keep the paper's proportions. *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Geo_greedy = Kregret.Geo_greedy
+module Greedy_lp = Kregret.Greedy_lp
+
+let base_n = ref 10_000
+let base_d = 6
+let base_k = 10
+
+let anti ~n ~d = tiers_of ~d ~n "anti_correlated"
+
+let run_both ~points ~k =
+  let geo, t_geo = time (fun () -> Geo_greedy.run ~points ~k ()) in
+  let lp, t_lp = time (fun () -> Greedy_lp.run ~points ~k ()) in
+  assert (abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) < 1e-6);
+  (geo.Geo_greedy.mrr, t_lp, t_geo)
+
+let widths = [ 8; 10; 10; 12; 12 ]
+let head label = cells widths [ label; "|Dhappy|"; "mrr"; "t(Greedy)"; "t(GeoGreedy)" ]
+
+let sweep label values tiers_of_value k_of_value =
+  head label;
+  List.iter
+    (fun v ->
+      let t = tiers_of_value v in
+      let k = k_of_value v in
+      let points = t.happy.Dataset.points in
+      let mrr, t_lp, t_geo = run_both ~points ~k in
+      cells widths
+        [
+          string_of_int v;
+          string_of_int (Array.length points);
+          Printf.sprintf "%.4f" mrr;
+          seconds t_lp;
+          seconds t_geo;
+        ])
+    values
+
+let fig12_13ab () =
+  header "Figures 12(a)/13(a) -- vary d (n fixed, k = 10, anti-correlated)";
+  sweep "d" [ 2; 3; 4; 5; 6; 7 ]
+    (fun d -> anti ~n:!base_n ~d)
+    (fun _ -> base_k);
+  note "expected: mrr grows with d (modulo seed noise); query time grows with d";
+  header "Figures 12(b)/13(b) -- vary n (d = 6, k = 10)";
+  sweep "n"
+    [ !base_n / 4; !base_n / 2; !base_n; !base_n * 2 ]
+    (fun n -> anti ~n ~d:base_d)
+    (fun _ -> base_k);
+  note "expected: mrr roughly flat in n; query time grows with n"
+
+let fig12_13c () =
+  header "Figures 12(c)/13(c) -- vary k (d = 6, n fixed)";
+  let t = anti ~n:!base_n ~d:base_d in
+  sweep "k" [ 10; 25; 50; 100 ] (fun _ -> t) (fun k -> k);
+  note "expected: mrr decreases with k; Greedy's time grows much faster"
+
+let fig12_13d () =
+  header "Figure 12(d) -- very large k (GeoGreedy; Greedy would take hours)";
+  let t = anti ~n:!base_n ~d:base_d in
+  let widths = [ 8; 10; 12 ] in
+  cells widths [ "k"; "mrr"; "t(GeoGreedy)" ];
+  List.iter
+    (fun k ->
+      let r, t_geo =
+        time (fun () -> Geo_greedy.run ~points:t.happy.Dataset.points ~k ())
+      in
+      cells widths
+        [ string_of_int k; Printf.sprintf "%.4f" r.Geo_greedy.mrr; seconds t_geo ])
+    [ 100; 150; 200 ];
+  note "expected: mrr well under 9%% at large k (paper Fig 12(d))";
+  header "Figure 13(d) -- Greedy vs GeoGreedy head-to-head at larger k";
+  let t = anti ~n:(!base_n / 2) ~d:base_d in
+  sweep "k" [ 50; 100 ] (fun _ -> t) (fun k -> k);
+  note "expected: GeoGreedy an order of magnitude faster"

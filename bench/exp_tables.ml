@@ -1,0 +1,58 @@
+(* Tables I/II (the worked car example) and Table III (candidate-set
+   statistics on the four simulated real datasets). *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Extreme = Kregret_hull.Extreme
+module Toy = Kregret.Toy
+module Mrr = Kregret.Mrr
+
+let table12 () =
+  header "Tables I & II -- car example";
+  let widths = [ 22; 10; 10; 10 ] in
+  cells widths [ "Car"; "f(.3,.7)"; "f(.5,.5)"; "f(.7,.3)" ];
+  Array.iteri
+    (fun i row ->
+      cells widths
+        (Toy.names.(i) :: Array.to_list (Array.map (Printf.sprintf "%.3f") row)))
+    (Toy.utility_table ());
+  let data = Array.to_list Toy.cars in
+  let selected = [ Toy.cars.(1); Toy.cars.(2) ] in
+  Fmt.pr "mrr({p2,p3}) over the finite class = %.3f   (paper: 0.115)@."
+    (Mrr.finite_class ~weights:Toy.weights ~data ~selected)
+
+(* paper's Table III, for reference columns *)
+let paper_table3 =
+  [
+    ("household", (903_077, 9_832, 1_332, 927));
+    ("nba", (21_962, 447, 75, 65));
+    ("color", (68_040, 1_023, 151, 124));
+    ("stocks", (122_574, 3_042, 449, 396));
+  ]
+
+let table3 () =
+  header "Table III -- |Dsky|, |Dhappy|, |Dconv| on simulated real datasets";
+  note "simulators at n=%d (paper used the original full-size datasets);" !real_scale;
+  note "paper's absolute counts shown for shape comparison";
+  let widths = [ 10; 4; 8; 7; 8; 7; 22 ] in
+  cells widths [ "dataset"; "d"; "n"; "|Dsky|"; "|Dhappy|"; "|Dconv|"; "paper (sky/happy/conv)" ];
+  List.iter
+    (fun (name, t) ->
+      let conv, _ =
+        time (fun () -> Extreme.extreme_points (Dataset.to_list t.happy))
+      in
+      let _, (pn, ps, ph, pc) =
+        (name, List.assoc name paper_table3)
+      in
+      cells widths
+        [
+          name;
+          string_of_int t.full.Dataset.dim;
+          string_of_int (Dataset.size t.full);
+          string_of_int (Dataset.size t.sky);
+          string_of_int (Dataset.size t.happy);
+          string_of_int (List.length conv);
+          Printf.sprintf "%d: %d/%d/%d" pn ps ph pc;
+        ])
+    (real_datasets ());
+  note "expected shape: |Dsky| >> |Dhappy| >= |Dconv| (Lemma 3)"

@@ -1,0 +1,61 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 6 for the experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default scales
+     dune exec bench/main.exe -- fig9 fig10   # selected sections
+     dune exec bench/main.exe -- --quick all  # smaller scales (CI-friendly)
+
+   Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
+   scal ablation micro. *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table12", Exp_tables.table12);
+    ("table3", Exp_tables.table3);
+    ("fig7", Exp_real.fig7);
+    ("fig8", Exp_real.fig8);
+    ("fig9", Exp_real.fig9);
+    ("fig10", Exp_real.fig10);
+    ("fig11", Exp_real.fig11);
+    ("fig12", Exp_synth.fig12_13ab);
+    ("fig12c", Exp_synth.fig12_13c);
+    ("fig13", Exp_synth.fig12_13d);
+    ("scal", Exp_scal.run);
+    ("ablation", Exp_ablation.run);
+    ("ext", Exp_ext.run);
+    ("substrate", Exp_substrate.run);
+    ("micro", Exp_micro.run);
+  ]
+
+let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "all") args in
+  if quick then begin
+    Bench_util.real_scale := 2_000;
+    Exp_synth.base_n := 2_000;
+    Exp_scal.scal_n := 10_000;
+    Exp_scal.scal_k := 50
+  end;
+  let wanted =
+    match args with
+    | [] -> List.map fst sections
+    | names ->
+        List.map
+          (fun a -> match List.assoc_opt a aliases with Some x -> x | None -> a)
+          names
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown section %S; known: %s@." name
+            (String.concat " " (List.map fst sections));
+          exit 2)
+    wanted;
+  Fmt.pr "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)

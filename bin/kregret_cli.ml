@@ -1,0 +1,334 @@
+(* kregret — command-line front end for the k-regret query library.
+
+   Subcommands:
+     gen       generate a synthetic dataset to CSV
+     stats     candidate-set statistics (|D|, |Dsky|, |Dhappy|, |Dconv|)
+     query     answer a k-regret query
+     validate  cross-check the three algorithms and evaluators on a dataset *)
+
+open Cmdliner
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Csv_io = Kregret_dataset.Csv_io
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Extreme = Kregret_hull.Extreme
+module Query = Kregret.Query
+module Mrr = Kregret.Mrr
+
+(* Expected user-facing failures (bad CSV, bad parameters) should print as
+   one-line errors, not cmdliner "internal error" backtraces. *)
+let wrap f =
+  try f () with
+  | Failure msg | Invalid_argument msg | Sys_error msg ->
+      Fmt.epr "kregret: error: %s@." msg;
+      exit 1
+
+let now () = Unix.gettimeofday ()
+
+let timed f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(* ---- shared arguments -------------------------------------------------- *)
+
+let dist_arg =
+  let doc =
+    "Distribution: independent | correlated | anti_correlated | household | \
+     nba | color | stocks."
+  in
+  Arg.(value & opt string "anti_correlated" & info [ "dist" ] ~docv:"DIST" ~doc)
+
+let n_arg default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Number of tuples.")
+
+let d_arg =
+  Arg.(value & opt int 6 & info [ "dim" ] ~docv:"D" ~doc:"Dimensionality (synthetic only).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let k_arg =
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Output size of the query.")
+
+let file_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Dataset CSV (omit to generate synthetically).")
+
+let load_or_generate file dist n d seed =
+  match file with
+  | Some path -> Dataset.normalize (Csv_io.load path)
+  | None -> (
+      match Generator.by_name dist (Rng.create seed) ~n ~d with
+      | ds -> ds
+      | exception Not_found ->
+          Fmt.failwith "unknown distribution %S" dist)
+
+(* ---- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run dist n d seed output = wrap @@ fun () ->
+    let ds = load_or_generate None dist n d seed in
+    Csv_io.save output ds;
+    Fmt.pr "wrote %a to %s@." Dataset.pp_stats ds output
+  in
+  let output =
+    Arg.(
+      value & opt string "data.csv"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic dataset")
+    Term.(const run $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ output)
+
+(* ---- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file dist n d seed with_conv summary = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    if summary then Fmt.pr "%a@." Kregret_dataset.Stats.pp_summary ds;
+    let sky, t_sky = timed (fun () -> Skyline.of_dataset ds) in
+    let happy_idx, t_happy =
+      timed (fun () -> Happy.happy_points sky.Dataset.points)
+    in
+    Fmt.pr "dataset   %-16s n=%d d=%d@." ds.Dataset.name (Dataset.size ds)
+      ds.Dataset.dim;
+    Fmt.pr "skyline   |Dsky|=%d    (%.3fs)@." (Dataset.size sky) t_sky;
+    Fmt.pr "happy     |Dhappy|=%d  (%.3fs)@." (Array.length happy_idx) t_happy;
+    if with_conv then begin
+      (* D_conv is a subset of D_happy and the downward hulls coincide, so
+         extremality among happy points equals extremality in D *)
+      let happy_pts =
+        Array.to_list (Array.map (fun i -> sky.Dataset.points.(i)) happy_idx)
+      in
+      let conv, t_conv =
+        timed (fun () -> Extreme.extreme_points happy_pts)
+      in
+      Fmt.pr "convex    |Dconv|=%d   (%.3fs)@." (List.length conv) t_conv
+    end
+  in
+  let with_conv =
+    Arg.(value & flag & info [ "conv" ] ~doc:"Also count hull extreme points (one LP per skyline point).")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print per-dimension statistics and correlation.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Candidate-set statistics (Table III)")
+    Term.(const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ with_conv $ summary)
+
+(* ---- query ---------------------------------------------------------------- *)
+
+let algorithm_arg =
+  let algo_conv =
+    Arg.enum
+      [
+        ("greedy", Query.Greedy_lp);
+        ("geogreedy", Query.Geo_greedy);
+        ("storedlist", Query.Stored_list);
+        ("cube", Query.Cube);
+      ]
+  in
+  Arg.(
+    value & opt algo_conv Query.Geo_greedy
+    & info [ "algorithm"; "a" ] ~docv:"ALGO"
+        ~doc:"Algorithm: greedy | geogreedy | storedlist | cube.")
+
+let candidates_arg =
+  let set_conv =
+    Arg.enum [ ("all", Query.All); ("sky", Query.Sky); ("happy", Query.Happy) ]
+  in
+  Arg.(
+    value & opt set_conv Query.Happy
+    & info [ "candidates"; "c" ] ~docv:"SET" ~doc:"Candidate set: all | sky | happy.")
+
+let query_cmd =
+  let run file dist n d seed k algorithm candidates verbose vertex_cap = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
+    let result, t_query =
+      match (algorithm, vertex_cap) with
+      | Query.Geo_greedy, Some cap ->
+          (* hybrid mode: geometric index with an LP fallback past the cap *)
+          timed (fun () ->
+              let points = cand.Dataset.points in
+              let r = Kregret.Geo_greedy.run ~max_dual_vertices:cap ~points ~k () in
+              {
+                Query.candidates = cand;
+                order = r.Kregret.Geo_greedy.order;
+                selected =
+                  List.map (fun i -> points.(i)) r.Kregret.Geo_greedy.order;
+                mrr = r.Kregret.Geo_greedy.mrr;
+              })
+      | _ ->
+          timed (fun () -> Query.run ~algorithm ~candidates:Query.All cand ~k)
+    in
+    Fmt.pr "%s on %s of %s: k=%d@."
+      (Query.algorithm_name algorithm)
+      (Query.candidate_set_name candidates)
+      ds.Dataset.name k;
+    Fmt.pr "candidates=%d  preprocess=%.3fs  query=%.3fs  total=%.3fs@."
+      (Dataset.size cand) t_pre t_query (t_pre +. t_query);
+    Fmt.pr "maximum regret ratio = %.6f@." result.Query.mrr;
+    if verbose then
+      List.iteri
+        (fun rank p ->
+          Fmt.pr "  #%-3d %a@." (rank + 1) Kregret_geom.Vector.pp p)
+        result.Query.selected
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the selected tuples.") in
+  let vertex_cap =
+    Arg.(
+      value & opt (some int) None
+      & info [ "vertex-cap" ] ~docv:"V"
+          ~doc:"Hybrid mode for geogreedy: fall back to LP critical ratios once                 the dual polytope exceeds V vertices (recommended at d >= 8).")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer a k-regret query")
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ k_arg
+      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap)
+
+(* ---- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let run file dist n d seed algorithm candidates ks output = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
+    let emit out =
+      Printf.fprintf out "# %s on %s of %s; candidates=%d preprocess=%.4f\n"
+        (Query.algorithm_name algorithm)
+        (Query.candidate_set_name candidates)
+        ds.Dataset.name (Dataset.size cand) t_pre;
+      Printf.fprintf out "k,mrr,query_seconds\n";
+      List.iter
+        (fun k ->
+          let result, t_query =
+            timed (fun () -> Query.run ~algorithm ~candidates:Query.All cand ~k)
+          in
+          Printf.fprintf out "%d,%.6f,%.6f\n" k result.Query.mrr t_query)
+        ks
+    in
+    match output with
+    | None -> emit stdout
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+        Fmt.pr "wrote sweep to %s@." path
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (list int) [ 10; 25; 50; 100 ]
+      & info [ "ks" ] ~docv:"K,K,..." ~doc:"Comma-separated query sizes.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write CSV here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run a k-sweep and emit CSV (one row per k)")
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
+      $ algorithm_arg $ candidates_arg $ ks $ output)
+
+(* ---- materialize ------------------------------------------------------------ *)
+
+let materialize_cmd =
+  let run file dist n d seed list_path max_length = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    let happy, t_pre = timed (fun () -> Query.reduce ds Query.Happy) in
+    let points = happy.Dataset.points in
+    let sl, t_build =
+      timed (fun () -> Kregret.Stored_list.preprocess ?max_length points)
+    in
+    Kregret.Stored_list.save sl ~points list_path;
+    Fmt.pr
+      "materialized %d-entry list to %s (happy: %d points in %.3fs; greedy: %.3fs)@."
+      (Kregret.Stored_list.length sl)
+      list_path (Dataset.size happy) t_pre t_build;
+    Fmt.pr "answer queries with: kregret query-list %s -k K ...@." list_path
+  in
+  let list_path =
+    Arg.(
+      value & opt string "stored.list"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the list.")
+  in
+  let max_length =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-length" ] ~docv:"M" ~doc:"Truncate the materialization.")
+  in
+  Cmd.v
+    (Cmd.info "materialize"
+       ~doc:"Precompute a StoredList for a dataset (Section IV-B preprocessing)")
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
+      $ list_path $ max_length)
+
+(* ---- query-list -------------------------------------------------------------- *)
+
+let query_list_cmd =
+  let run list_path file dist n d seed k verbose = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    let happy = Query.reduce ds Query.Happy in
+    let points = happy.Dataset.points in
+    let sl = Kregret.Stored_list.load ~points list_path in
+    let answer, t_query = timed (fun () -> Kregret.Stored_list.query sl ~k) in
+    Fmt.pr "StoredList query k=%d: %.1fus, mrr=%.6f@." k (1e6 *. t_query)
+      (Kregret.Stored_list.mrr_at sl ~k);
+    if verbose then
+      List.iteri
+        (fun rank i ->
+          Fmt.pr "  #%-3d %a@." (rank + 1) Kregret_geom.Vector.pp points.(i))
+        answer
+  in
+  let list_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"LIST" ~doc:"Materialized list file.")
+  in
+  let file_arg2 =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data" ] ~docv:"FILE" ~doc:"Dataset CSV the list was built from.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the tuples.")
+  in
+  Cmd.v
+    (Cmd.info "query-list" ~doc:"Answer a k-regret query from a materialized list")
+    Term.(
+      const run $ list_path $ file_arg2 $ dist_arg $ n_arg 10_000 $ d_arg
+      $ seed_arg $ k_arg $ verbose)
+
+(* ---- validate --------------------------------------------------------------- *)
+
+let validate_cmd =
+  let run file dist n d seed k = wrap @@ fun () ->
+    let ds = load_or_generate file dist n d seed in
+    let report, t = timed (fun () -> Kregret.Validation.run ds ~k) in
+    Fmt.pr "%a" Kregret.Validation.pp_report report;
+    Fmt.pr "(validated in %.3fs)@." t;
+    if not report.Kregret.Validation.ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Cross-check algorithms and evaluators")
+    Term.(const run $ file_arg $ dist_arg $ n_arg 2_000 $ d_arg $ seed_arg $ k_arg)
+
+let () =
+  let info = Cmd.info "kregret" ~version:"1.0.0" ~doc:"k-regret queries (ICDE 2014 geometry approach)" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; stats_cmd; query_cmd; sweep_cmd; materialize_cmd;
+            query_list_cmd; validate_cmd;
+          ]))

@@ -1,0 +1,39 @@
+(* Interactive regret minimization (the paper's Section VIII future-work
+   direction, after Nanongkai et al., SIGMOD 2012): instead of returning k
+   tuples at once, ask the user a few "which of these do you prefer?"
+   questions and converge to a single near-optimal tuple.
+
+   Run with:  dune exec examples/interactive_session.exe *)
+
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Happy = Kregret_happy.Happy
+module Interactive = Kregret.Interactive
+
+let () =
+  let market = Generator.stocks_like (Rng.create 99) ~n:20_000 in
+  let happy = Happy.of_dataset market in
+  let points = happy.Dataset.points in
+  Fmt.pr "%d stocks, %d plausible candidates after the happy-point filter@."
+    (Dataset.size market) (Array.length points);
+
+  (* the "user": a hidden utility the simulator answers questions with *)
+  let hidden = Vector.normalize [| 0.45; 0.25; 0.1; 0.15; 0.05 |] in
+  Fmt.pr "hidden utility (unknown to the algorithm): %a@.@." Vector.pp hidden;
+
+  let r = Interactive.simulate ~display:4 ~points ~utility:hidden () in
+  List.iteri
+    (fun i round ->
+      Fmt.pr "round %d: shown %d tuples, user picked #%d -> %d candidates left, regret bound %.3f@."
+        (i + 1)
+        (List.length round.Interactive.displayed)
+        round.Interactive.chosen round.Interactive.candidates_left
+        round.Interactive.regret_bound)
+    r.Interactive.rounds;
+
+  Fmt.pr "@.after %d questions, recommended tuple #%d: %a@."
+    r.Interactive.questions r.Interactive.recommendation Vector.pp
+    points.(r.Interactive.recommendation);
+  Fmt.pr "true regret of the recommendation: %.4f@." r.Interactive.true_regret

@@ -1,0 +1,50 @@
+(* An interactive-latency stock screener: materialize a StoredList once,
+   then answer k-regret queries for any shortlist size instantly — the
+   paper's two-phase deployment (Section IV-B).
+
+   Run with:  dune exec examples/stock_screener.exe *)
+
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Happy = Kregret_happy.Happy
+module Stored_list = Kregret.Stored_list
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let () =
+  let market = Generator.stocks_like (Rng.create 7) ~n:50_000 in
+  Fmt.pr "universe: %d stocks x %d indicators@." (Dataset.size market)
+    market.Dataset.dim;
+
+  (* offline phase: happy points + materialized greedy order *)
+  let happy, t_happy = time (fun () -> Happy.of_dataset market) in
+  let list, t_list =
+    time (fun () -> Stored_list.preprocess ~max_length:128 happy.Dataset.points)
+  in
+  Fmt.pr "offline: %d happy stocks in %.2fs, list of %d in %.2fs@."
+    (Dataset.size happy) t_happy (Stored_list.length list) t_list;
+
+  (* online phase: shortlist sizes chosen interactively cost microseconds *)
+  Fmt.pr "@.%-6s %-12s %-14s@." "k" "mrr" "query time";
+  List.iter
+    (fun k ->
+      let _, t_query = time (fun () -> Stored_list.query list ~k) in
+      Fmt.pr "%-6d %-12.4f %8.1f us@." k
+        (Stored_list.mrr_at list ~k)
+        (1e6 *. t_query))
+    [ 5; 10; 20; 50; 100 ];
+
+  let shortlist = Stored_list.query list ~k:5 in
+  Fmt.pr "@.=== 5-stock shortlist ===@.";
+  Fmt.pr "  %-4s %-7s %-10s %-7s %-9s %-9s@." "#" "return" "stability" "growth"
+    "dividend" "liquidity";
+  List.iteri
+    (fun rank i ->
+      let p = happy.Dataset.points.(i) in
+      Fmt.pr "  %-4d %-7.2f %-10.2f %-7.2f %-9.2f %-9.2f@." (rank + 1) p.(0)
+        p.(1) p.(2) p.(3) p.(4))
+    shortlist

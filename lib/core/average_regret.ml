@@ -1,0 +1,101 @@
+module Vector = Kregret_geom.Vector
+module Rng = Kregret_dataset.Rng
+
+type t = {
+  directions : Vector.t array;
+  best : float array; (* best.(i) = max over the dataset of directions.(i) . q *)
+}
+
+let prepare ?(directions = 512) ?(seed = 7) points =
+  if Array.length points = 0 then
+    invalid_arg "Average_regret.prepare: empty candidate set";
+  let d = Vector.dim points.(0) in
+  let rng = Rng.create seed in
+  let sample _ =
+    Vector.normalize
+      (Array.init d (fun _ -> abs_float (Rng.gaussian rng ~mu:0. ~sigma:1.) +. 1e-9))
+  in
+  let dirs = Array.init directions sample in
+  let best =
+    Array.map
+      (fun w -> Array.fold_left (fun acc q -> Float.max acc (Vector.dot w q)) 0. points)
+      dirs
+  in
+  { directions = dirs; best }
+
+let average_regret t selected =
+  if selected = [] then 1.
+  else begin
+    let total = ref 0. in
+    Array.iteri
+      (fun i w ->
+        let u_sel =
+          List.fold_left (fun acc p -> Float.max acc (Vector.dot w p)) 0. selected
+        in
+        if t.best.(i) > 0. then
+          total := !total +. Float.max 0. (1. -. (u_sel /. t.best.(i))))
+      t.directions;
+    !total /. float_of_int (Array.length t.directions)
+  end
+
+type result = { order : int list; avg_regret : float; mrr : float }
+
+let greedy t ~points ~k () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Average_regret.greedy: empty candidate set";
+  if k < 1 then invalid_arg "Average_regret.greedy: k must be positive";
+  let d = Vector.dim points.(0) in
+  let m = Array.length t.directions in
+  let in_s = Array.make n false in
+  let order = ref [] in
+  let size = ref 0 in
+  (* current best selected utility per sampled direction *)
+  let u_sel = Array.make m 0. in
+  let insert j =
+    in_s.(j) <- true;
+    order := j :: !order;
+    incr size;
+    Array.iteri
+      (fun i w -> u_sel.(i) <- Float.max u_sel.(i) (Vector.dot w points.(j)))
+      t.directions
+  in
+  List.iter
+    (fun j -> if !size < k then insert j)
+    (Geo_greedy.boundary_seeds points d);
+  (* marginal gain of candidate j = sum over directions of the improvement of
+     the (clipped) per-direction ratio *)
+  let gain j =
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      if t.best.(i) > 0. then begin
+        let u = Vector.dot t.directions.(i) points.(j) in
+        if u > u_sel.(i) then
+          acc :=
+            !acc
+            +. (Float.min 1. (u /. t.best.(i)) -. Float.min 1. (u_sel.(i) /. t.best.(i)))
+      end
+    done;
+    !acc
+  in
+  let stop = ref false in
+  while (not !stop) && !size < k do
+    let best = ref (-1) and best_gain = ref 0. in
+    for j = 0 to n - 1 do
+      if not in_s.(j) then begin
+        let g = gain j in
+        if g > !best_gain then begin
+          best := j;
+          best_gain := g
+        end
+      end
+    done;
+    if !best < 0 then stop := true (* no candidate improves any direction *)
+    else insert !best
+  done;
+  let order = List.rev !order in
+  let selected = List.map (fun j -> points.(j)) order in
+  {
+    order;
+    avg_regret = average_regret t selected;
+    mrr = Mrr.geometric ~data:(Array.to_list points) ~selected;
+  }

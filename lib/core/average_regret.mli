@@ -1,0 +1,35 @@
+(** Average regret ratio — the paper's first future-work direction
+    (Section VIII): minimize the {e expected} regret over utility functions
+    instead of the worst case.
+
+    The average is taken over a fixed quasi-random sample of non-negative
+    unit weight vectors (a deterministic low-discrepancy-ish stream, so
+    results are reproducible and two selections are comparable). With the
+    sample fixed, the average regret of a selection is submodular-decreasing
+    in the selected set, so the classic greedy gives a (1 - 1/e)
+    approximation; that greedy is implemented here with the same seeding
+    conventions as {!Geo_greedy}. *)
+
+type t
+(** a prepared evaluation context: the direction sample together with the
+    per-direction maxima over the dataset *)
+
+(** [prepare ~directions points] samples [directions] weight vectors
+    (default 512) and precomputes [max_{q in points} w . q] for each.
+    Raises [Invalid_argument] on an empty candidate array. *)
+val prepare : ?directions:int -> ?seed:int -> Kregret_geom.Vector.t array -> t
+
+(** [average_regret t selected] is the mean over the sample of
+    [1 - max_{p in selected} w.p / max_{q in D} w.q]; in [[0, 1]]. *)
+val average_regret : t -> Kregret_geom.Vector.t list -> float
+
+type result = {
+  order : int list;  (** selected indices, in insertion order *)
+  avg_regret : float;  (** average regret of the selection *)
+  mrr : float;  (** worst-case mrr of the same selection, for comparison *)
+}
+
+(** [greedy t ~points ~k ()] — greedy minimization of the average regret:
+    seed with the boundary points, then repeatedly add the candidate with
+    the largest marginal decrease of the sampled average. *)
+val greedy : t -> points:Kregret_geom.Vector.t array -> k:int -> unit -> result

@@ -1,0 +1,217 @@
+module Vector = Kregret_geom.Vector
+module Dd = Kregret_hull.Dd
+module Dual_polytope = Kregret_hull.Dual_polytope
+
+type result = {
+  order : int list;
+  mrr : float;
+  iterations : int;
+  rescans : int;
+  dual_vertices : int;
+  lp_fallback_at : int option;
+}
+
+(* one index per dimension, maximizing that dimension; duplicates collapsed *)
+let boundary_seeds points d =
+  let seeds = ref [] in
+  for i = d - 1 downto 0 do
+    let best = ref 0 in
+    Array.iteri (fun j p -> if p.(i) > points.(!best).(i) then best := j) points;
+    if not (List.mem !best !seeds) then seeds := !best :: !seeds
+  done;
+  !seeds
+
+let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
+    ~points ~k () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Geo_greedy.run: empty candidate set";
+  if k < 1 then invalid_arg "Geo_greedy.run: k must be positive";
+  let d = Vector.dim points.(0) in
+  let seeds = boundary_seeds points d in
+  (* Q(S) is confined to w_i <= 1 / max_{p in seeds(S)} p_i once the seeds
+     are inserted; size the artificial bounding box from the seeds actually
+     taken (k < d may leave a dimension unseeded and hence unbounded by
+     data — the box then correctly reports the near-1 regret of Sec. VII) *)
+  let bound =
+    let taken = List.filteri (fun idx _ -> idx < k) seeds in
+    let worst = ref infinity in
+    for i = 0 to d - 1 do
+      let col =
+        List.fold_left (fun acc j -> Float.max acc points.(j).(i)) 0. taken
+      in
+      worst := Float.min !worst (Float.max col 1e-9)
+    done;
+    Float.min 1e6 (1.05 /. !worst)
+  in
+  let dp = Dual_polytope.create ~bound ~dim:d () in
+  let in_s = Array.make n false in
+  let order = ref [] in
+  let size = ref 0 in
+  let rescans = ref 0 in
+  (* champion.(j) = (dual vertex id, max dot) for candidate j; only
+     meaningful while j is outside the selection *)
+  let champion = Array.make n (-1, infinity) in
+  let full_rescan j =
+    incr rescans;
+    let v, m = Dual_polytope.champion dp points.(j) in
+    champion.(j) <- (v.Dd.id, m)
+  in
+  let scan_among vertices j =
+    incr rescans;
+    let best = ref None in
+    List.iter
+      (fun v ->
+        let x = Vector.dot v.Dd.w points.(j) in
+        match !best with
+        | Some (_, bx) when bx >= x -> ()
+        | _ -> best := Some (v.Dd.id, x))
+      vertices;
+    match !best with
+    | Some c -> champion.(j) <- c
+    | None -> full_rescan j (* defensive: no new/touched vertices *)
+  in
+  let apply_event ev =
+    if use_champion_cache then begin
+      let removed = ev.Dd.removed in
+      let fresh = ev.Dd.created @ ev.Dd.touched in
+      for j = 0 to n - 1 do
+        if (not in_s.(j)) && List.mem (fst champion.(j)) removed then
+          scan_among fresh j
+      done
+    end
+    else
+      for j = 0 to n - 1 do
+        if not in_s.(j) then full_rescan j
+      done
+  in
+  let insert j =
+    in_s.(j) <- true;
+    order := j :: !order;
+    incr size;
+    let ev = Dual_polytope.insert dp points.(j) in
+    apply_event ev
+  in
+  (* seed with boundary points (at most k of them) *)
+  let rec seed = function
+    | [] -> ()
+    | j :: rest ->
+        if !size < k then begin
+          in_s.(j) <- true;
+          order := j :: !order;
+          incr size;
+          ignore (Dual_polytope.insert dp points.(j));
+          seed rest
+        end
+  in
+  seed seeds;
+  (* champions start from a full scan once the seeds are in *)
+  for j = 0 to n - 1 do
+    if not in_s.(j) then full_rescan j
+  done;
+  rescans := 0;
+  (* greedy iterations: the candidate with the largest champion value has the
+     smallest critical ratio (cr = 1 / max w.q) *)
+  let iterations = ref 0 in
+  let best_remaining () =
+    let best = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not in_s.(j)) && (!best < 0 || snd champion.(j) > snd champion.(!best))
+      then best := j
+    done;
+    !best
+  in
+  let current_mrr () =
+    let j = best_remaining () in
+    if j < 0 then 0.
+    else
+      let m = snd champion.(j) in
+      if m <= 1. then 0. else 1. -. (1. /. m)
+  in
+  let notify () =
+    match on_step with
+    | None -> ()
+    | Some f -> f ~size:!size ~mrr:(current_mrr ())
+  in
+  notify ();
+  (* Hybrid fallback: when the dual polytope grows past [max_dual_vertices]
+     (the face-count explosion of high dimensions — see EXPERIMENTS.md), the
+     remaining iterations answer line 6 of Algorithm 1 with the baseline's
+     per-candidate LP instead. Same greedy choices, same output. *)
+  let vertex_budget_blown () =
+    match max_dual_vertices with
+    | None -> false
+    | Some limit -> Dual_polytope.num_vertices dp > limit
+  in
+  let lp_fallback_at = ref None in
+  let lp_mrr = ref None in
+  let run_lp_phase () =
+    lp_fallback_at := Some !size;
+    let selected () = List.rev_map (fun j -> points.(j)) !order in
+    let lp_stop = ref false in
+    while (not !lp_stop) && !size < k do
+      let sel = selected () in
+      let best = ref None in
+      for j = 0 to n - 1 do
+        if not in_s.(j) then begin
+          let cr, _ = Kregret_lp.Regret_lp.critical_ratio ~selected:sel points.(j) in
+          match !best with
+          | Some (_, bcr) when bcr <= cr -> ()
+          | _ -> best := Some (j, cr)
+        end
+      done;
+      match !best with
+      | None -> lp_stop := true
+      | Some (_, cr) when cr >= 1. -. eps ->
+          lp_mrr := Some (Float.max 0. (1. -. cr));
+          lp_stop := true
+      | Some (j, _) ->
+          incr iterations;
+          in_s.(j) <- true;
+          order := j :: !order;
+          incr size;
+          (match on_step with
+          | None -> ()
+          | Some f ->
+              (* prefix mrr via one LP sweep would be costly; report the
+                 exact value lazily only when a consumer asked for steps *)
+              let sel = List.rev_map (fun i -> points.(i)) !order in
+              let m =
+                Kregret_lp.Regret_lp.max_regret_ratio
+                  ~data:(Array.to_list points) ~selected:sel ()
+              in
+              f ~size:!size ~mrr:m)
+    done;
+    if !lp_mrr = None then begin
+      let sel = selected () in
+      lp_mrr :=
+        Some
+          (Kregret_lp.Regret_lp.max_regret_ratio ~data:(Array.to_list points)
+             ~selected:sel ())
+    end
+  in
+  let stop = ref false in
+  while (not !stop) && !size < k do
+    if vertex_budget_blown () then begin
+      run_lp_phase ();
+      stop := true
+    end
+    else begin
+      let j = best_remaining () in
+      if j < 0 then stop := true
+      else if snd champion.(j) <= 1. +. eps then stop := true (* cr >= 1 *)
+      else begin
+        incr iterations;
+        insert j;
+        notify ()
+      end
+    end
+  done;
+  let mrr = match !lp_mrr with Some m -> m | None -> current_mrr () in
+  {
+    order = List.rev !order;
+    mrr;
+    iterations = !iterations;
+    rescans = !rescans;
+    dual_vertices = Dual_polytope.num_vertices dp;
+    lp_fallback_at = !lp_fallback_at;
+  }

@@ -1,0 +1,64 @@
+module Vector = Kregret_geom.Vector
+module Regret_lp = Kregret_lp.Regret_lp
+
+type result = { order : int list; mrr : float; iterations : int; lp_calls : int }
+
+let run ?(eps = 1e-9) ~points ~k () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Greedy_lp.run: empty candidate set";
+  if k < 1 then invalid_arg "Greedy_lp.run: k must be positive";
+  let d = Vector.dim points.(0) in
+  let in_s = Array.make n false in
+  let order = ref [] in
+  let size = ref 0 in
+  let lp_calls = ref 0 in
+  let insert j =
+    in_s.(j) <- true;
+    order := j :: !order;
+    incr size
+  in
+  List.iter
+    (fun j -> if !size < k && not in_s.(j) then insert j)
+    (Geo_greedy.(boundary_seeds) points d);
+  let selected () =
+    List.rev_map (fun j -> points.(j)) !order
+  in
+  let min_cr () =
+    (* smallest critical ratio among the remaining candidates *)
+    let sel = selected () in
+    let best = ref None in
+    for j = 0 to n - 1 do
+      if not in_s.(j) then begin
+        incr lp_calls;
+        let cr, _ = Regret_lp.critical_ratio ~selected:sel points.(j) in
+        match !best with
+        | Some (_, bcr) when bcr <= cr -> ()
+        | _ -> best := Some (j, cr)
+      end
+    done;
+    !best
+  in
+  let iterations = ref 0 in
+  let stop = ref false in
+  let final_cr = ref None in
+  while (not !stop) && !size < k do
+    match min_cr () with
+    | None -> stop := true
+    | Some (_, cr) when cr >= 1. -. eps ->
+        final_cr := Some cr;
+        stop := true
+    | Some (j, _) ->
+        incr iterations;
+        insert j
+  done;
+  let mrr =
+    let cr =
+      match !final_cr with
+      | Some cr -> Some cr
+      | None -> Option.map snd (min_cr ())
+    in
+    match cr with
+    | None -> 0.
+    | Some cr -> Float.max 0. (1. -. cr)
+  in
+  { order = List.rev !order; mrr; iterations = !iterations; lp_calls = !lp_calls }

@@ -1,0 +1,154 @@
+module Vector = Kregret_geom.Vector
+module Model = Kregret_lp.Model
+
+type round = {
+  displayed : int list;
+  chosen : int;
+  candidates_left : int;
+  regret_bound : float;
+}
+
+type result = {
+  rounds : round list;
+  recommendation : int;
+  true_regret : float;
+  questions : int;
+}
+
+(* The plausible-weight region is the cone
+   { w >= 0 : w . (chosen - other) >= 0 for every observed preference }.
+   [regret_vs region ~champion p] is the exact worst-case regret of
+   recommending [champion] instead of [p] over that cone:
+
+     max_{w in region} 1 - (w . champion) / (w . p)
+   = 1 - min { w . champion : w in region, w . p = 1 }
+
+   (the ratio is scale-invariant, so the cone is normalized by [w . p = 1]).
+   A non-positive value proves [p] can never beat the champion — the pruning
+   rule; the maximum over the surviving candidates is the provable regret
+   bound of recommending the champion. *)
+type region = { d : int; mutable prefs : Vector.t list (* chosen - other *) }
+
+let regret_vs region ~champion p =
+  let m = Model.create () in
+  let w =
+    Array.init region.d (fun i -> Model.add_var m ~name:(Printf.sprintf "w%d" i))
+  in
+  let dot_terms v = List.init region.d (fun i -> (v.(i), w.(i))) in
+  Model.add_eq m (dot_terms p) 1.;
+  List.iter (fun diff -> Model.add_ge m (dot_terms diff) 0.) region.prefs;
+  match Model.minimize m (dot_terms champion) with
+  | Model.Optimal { objective; _ } -> 1. -. objective
+  | Model.Infeasible ->
+      (* no plausible weight ranks p first at all *)
+      0.
+  | Model.Unbounded -> 0. (* objective is bounded below by 0 on the cone *)
+
+let simulate ?(max_rounds = 20) ?(display = 4) ?(target_regret = 0.01) ~points
+    ~utility () =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Interactive.simulate: empty candidate set";
+  if display < 2 then invalid_arg "Interactive.simulate: display must be >= 2";
+  let d = Vector.dim points.(0) in
+  if Vector.dim utility <> d then
+    invalid_arg "Interactive.simulate: utility dimension mismatch";
+  let region = { d; prefs = [] } in
+  (* plausible candidate indices (into [points]) *)
+  let alive = ref (List.init n Fun.id) in
+  let seen = Array.make n false in
+  let champion = ref None in
+  let rounds = ref [] in
+  let questions = ref 0 in
+  let recommendation = ref 0 in
+  let finished = ref false in
+  let round_no = ref 0 in
+  while (not !finished) && !round_no < max_rounds do
+    incr round_no;
+    (* Display = running champion + fresh (never-displayed) candidates, the
+       fresh ones picked for diversity by a small k-regret query. Always
+       showing unseen points guarantees progress: once every plausible
+       candidate has faced the champion chain, the champion is the user's
+       true favorite. *)
+    let unseen = List.filter (fun i -> not seen.(i)) !alive in
+    let fresh_budget =
+      match !champion with None -> display | Some _ -> display - 1
+    in
+    let fresh =
+      if List.length unseen <= fresh_budget then unseen
+      else begin
+        let unseen_arr = Array.of_list unseen in
+        let unseen_points = Array.map (fun i -> points.(i)) unseen_arr in
+        List.map
+          (fun j -> unseen_arr.(j))
+          (Geo_greedy.run ~points:unseen_points ~k:fresh_budget ())
+            .Geo_greedy.order
+      end
+    in
+    let displayed =
+      match !champion with Some c -> c :: fresh | None -> fresh
+    in
+    if List.length displayed < 2 then finished := true
+    else begin
+      (* the simulated user picks their true favorite among the displayed *)
+      let chosen =
+        List.fold_left
+          (fun best i ->
+            if Vector.dot utility points.(i) > Vector.dot utility points.(best)
+            then i
+            else best)
+          (List.hd displayed) displayed
+      in
+      incr questions;
+      List.iter (fun i -> seen.(i) <- true) displayed;
+      champion := Some chosen;
+      List.iter
+        (fun other ->
+          if other <> chosen then
+            region.prefs <-
+              Vector.sub points.(chosen) points.(other) :: region.prefs)
+        displayed;
+      (* exact champion-relative regret per candidate: prune the hopeless,
+         bound the rest *)
+      let champ = points.(chosen) in
+      let keep = ref [] and bound = ref 0. in
+      List.iter
+        (fun i ->
+          if i = chosen then keep := i :: !keep
+          else begin
+            let r = regret_vs region ~champion:champ points.(i) in
+            if r > 1e-9 then begin
+              keep := i :: !keep;
+              if r > !bound then bound := r
+            end
+          end)
+        !alive;
+      alive := List.rev !keep;
+      recommendation := chosen;
+      rounds :=
+        {
+          displayed;
+          chosen;
+          candidates_left = List.length !alive;
+          regret_bound = !bound;
+        }
+        :: !rounds;
+      let nothing_new = List.for_all (fun i -> seen.(i)) !alive in
+      if !bound <= target_regret || List.length !alive <= 1 || nothing_new then
+        finished := true
+    end
+  done;
+  let best_true =
+    Array.fold_left (fun acc p -> Float.max acc (Vector.dot utility p)) 0. points
+  in
+  let true_regret =
+    if best_true <= 0. then 0.
+    else
+      Float.max 0.
+        (1. -. (Vector.dot utility points.(!recommendation) /. best_true))
+  in
+  {
+    rounds = List.rev !rounds;
+    recommendation = !recommendation;
+    true_regret;
+    questions = !questions;
+  }

@@ -1,0 +1,55 @@
+(** Interactive regret minimization — the paper's second future-work
+    direction (Section VIII), after Nanongkai, Lall & Das Sarma (SIGMOD
+    2012): instead of answering one k-regret query, engage the user in
+    rounds. Each round displays a few tuples; the user picks a favorite;
+    every non-picked tuple yields a linear constraint
+    [w . (chosen - other) >= 0] on the user's hidden weight vector, shrinking
+    the plausible utility region until some tuple is provably near-optimal.
+
+    Each round displays the running champion (the user's favorite so far)
+    plus a handful of never-shown candidates picked for diversity by a small
+    k-regret query ({!Geo_greedy}) — the natural marriage of the two papers.
+    After each answer, one LP per remaining candidate computes the {e exact}
+    worst-case regret of recommending the champion instead of that candidate
+    over the plausible region (a scale-invariant cone, normalized inside the
+    LP); candidates with non-positive value can never beat the champion and
+    are pruned, and the maximum over the survivors is a provable regret
+    bound. The loop stops when that bound falls below [target_regret], when
+    at most one candidate remains, or when every surviving candidate has
+    faced the champion chain (at which point the champion is the user's
+    exact favorite).
+
+    The module simulates the user: the hidden utility is a parameter, used
+    only to answer "which displayed tuple do you prefer" and to score the
+    final recommendation. *)
+
+type round = {
+  displayed : int list;  (** indices shown this round *)
+  chosen : int;  (** the simulated user's pick *)
+  candidates_left : int;  (** plausible candidates after pruning *)
+  regret_bound : float;  (** provable regret bound after this round *)
+}
+
+type result = {
+  rounds : round list;  (** chronological interaction transcript *)
+  recommendation : int;  (** final recommended index *)
+  true_regret : float;
+      (** actual regret of the recommendation under the hidden utility, vs
+          the best point in the full array *)
+  questions : int;  (** number of user interactions *)
+}
+
+(** [simulate ~points ~utility ()] runs the interaction.
+    [display] points per round (default 4, min 2); at most [max_rounds]
+    rounds (default 20); stop early once the provable regret bound drops
+    below [target_regret] (default 0.01). [utility] is the hidden weight
+    vector (any non-negative non-zero vector). Candidates should be happy
+    points for speed, but any non-empty array in [(0,1]^d] works. *)
+val simulate :
+  ?max_rounds:int ->
+  ?display:int ->
+  ?target_regret:float ->
+  points:Kregret_geom.Vector.t array ->
+  utility:Kregret_geom.Vector.t ->
+  unit ->
+  result

@@ -1,0 +1,69 @@
+module Vector = Kregret_geom.Vector
+module Dual_polytope = Kregret_hull.Dual_polytope
+module Regret_lp = Kregret_lp.Regret_lp
+module Rng = Kregret_dataset.Rng
+
+let check ~selected =
+  if selected = [] then invalid_arg "Mrr: empty selection"
+
+let geometric ~data ~selected =
+  check ~selected;
+  let d = Vector.dim (List.hd selected) in
+  (* exact bound for Q(S): w_i <= 1 / max_{p in S} p_i *)
+  let col_max = Array.make d 0. in
+  List.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        if p.(i) > col_max.(i) then col_max.(i) <- p.(i)
+      done)
+    selected;
+  let worst = Array.fold_left Float.min infinity col_max in
+  if worst <= 0. then invalid_arg "Mrr.geometric: selection has a zero column";
+  let bound = 1.05 /. worst in
+  let dp = Dual_polytope.create ~bound ~dim:d () in
+  List.iter (fun p -> ignore (Dual_polytope.insert dp p)) selected;
+  Dual_polytope.max_regret_ratio dp ~data
+
+let lp ~data ~selected =
+  check ~selected;
+  Regret_lp.max_regret_ratio ~data ~selected ()
+
+let regret_for_weight ~weight ~data ~selected =
+  check ~selected;
+  let best pts = List.fold_left (fun acc p -> Float.max acc (Vector.dot weight p)) 0. pts in
+  let u_all = best data and u_sel = best selected in
+  if u_all <= 0. then 0. else Float.max 0. (1. -. (u_sel /. u_all))
+
+let finite_class ~weights ~data ~selected =
+  check ~selected;
+  List.fold_left
+    (fun acc weight -> Float.max acc (regret_for_weight ~weight ~data ~selected))
+    0. weights
+
+(* Random non-negative directions: half Gaussian-orthant (uniform on the
+   positive part of the sphere), half sparse — a random subset of axes with
+   random positive weights — to probe the low-dimensional faces where maxima
+   of the regret function often sit. *)
+let random_direction rng d =
+  if Rng.float rng < 0.5 then
+    Vector.normalize
+      (Array.init d (fun _ -> abs_float (Rng.gaussian rng ~mu:0. ~sigma:1.)))
+  else begin
+    let v = Array.make d 0. in
+    let support = 1 + Rng.int rng d in
+    for _ = 1 to support do
+      v.(Rng.int rng d) <- 0.05 +. Rng.float rng
+    done;
+    if Vector.norm v = 0. then v.(Rng.int rng d) <- 1.;
+    Vector.normalize v
+  end
+
+let sampled ~rng ~samples ~data ~selected =
+  check ~selected;
+  let d = Vector.dim (List.hd selected) in
+  let acc = ref 0. in
+  for _ = 1 to samples do
+    let weight = random_direction rng d in
+    acc := Float.max !acc (regret_for_weight ~weight ~data ~selected)
+  done;
+  !acc

@@ -1,0 +1,49 @@
+(** Maximum regret ratio evaluators.
+
+    Three independent implementations of Definition 2 / Lemma 1 — geometric
+    (dual polytope), linear programming, and Monte-Carlo sampling — plus the
+    finite-function-class variant used by the paper's running example
+    (Tables I and II). The first two are exact and agree to numerical
+    tolerance; the sampling evaluator is a lower bound that converges from
+    below, used as an end-to-end sanity check in the tests and benches. *)
+
+(** [geometric ~data ~selected] — Lemma 1 via the dual polytope:
+    [mrr(S) = max 0 (1 - min_q cr(q, S))]. Exact for any non-empty
+    [selected] with strictly positive coordinates. *)
+val geometric :
+  data:Kregret_geom.Vector.t list -> selected:Kregret_geom.Vector.t list ->
+  float
+
+(** [lp ~data ~selected] — the same quantity via one critical-ratio LP per
+    point of [data] (what the baseline [Greedy] evaluates internally). *)
+val lp :
+  data:Kregret_geom.Vector.t list -> selected:Kregret_geom.Vector.t list ->
+  float
+
+(** [sampled ~rng ~samples ~data ~selected] — empirical maximum of
+    [rr(S, f_w)] over [samples] random non-negative unit directions [w]
+    (Gaussian-orthant and sparse axis-biased mixtures). Always [<=] the
+    exact value. *)
+val sampled :
+  rng:Kregret_dataset.Rng.t ->
+  samples:int ->
+  data:Kregret_geom.Vector.t list ->
+  selected:Kregret_geom.Vector.t list ->
+  float
+
+(** [finite_class ~weights ~data ~selected] — [mrr] over an explicit finite
+    set of linear utility functions, as in the paper's car example where
+    [F = {f_(0.3,0.7), f_(0.5,0.5), f_(0.7,0.3)}]. *)
+val finite_class :
+  weights:Kregret_geom.Vector.t list ->
+  data:Kregret_geom.Vector.t list ->
+  selected:Kregret_geom.Vector.t list ->
+  float
+
+(** [regret_for_weight ~weight ~data ~selected] — [rr(S, f_w)] for one
+    utility function (Definition 1). *)
+val regret_for_weight :
+  weight:Kregret_geom.Vector.t ->
+  data:Kregret_geom.Vector.t list ->
+  selected:Kregret_geom.Vector.t list ->
+  float

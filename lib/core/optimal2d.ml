@@ -1,0 +1,91 @@
+module Vector = Kregret_geom.Vector
+module Skyline = Kregret_skyline.Skyline
+
+type result = { order : int list; mrr : float }
+
+(* Regret of point [q] against the hull face through [a] and [b] (the only
+   face whose ray [q] can cross when [a], [b] are angular neighbors in the
+   selection). *)
+let gap_regret a b q =
+  let n = [| b.(1) -. a.(1); a.(0) -. b.(0) |] in
+  let c = Vector.dot n a in
+  let denom = Vector.dot n q in
+  if denom <= 0. then 0. else Float.max 0. (1. -. (c /. denom))
+
+let solve ~points ~k () =
+  let n_input = Array.length points in
+  if n_input = 0 then invalid_arg "Optimal2d.solve: empty candidate set";
+  if k < 1 then invalid_arg "Optimal2d.solve: k must be positive";
+  Array.iter
+    (fun p ->
+      if Vector.dim p <> 2 then invalid_arg "Optimal2d.solve: 2-D points only")
+    points;
+  (* the optimum needs only skyline points, sorted by angle (equivalently by
+     x descending: on a 2-D skyline x strictly decreases as y increases) *)
+  let sky_idx = Skyline.sfs points in
+  let order_by_angle = Array.copy sky_idx in
+  Array.sort
+    (fun a b -> compare points.(b).(0) points.(a).(0))
+    order_by_angle;
+  let sky = Array.map (fun i -> points.(i)) order_by_angle in
+  let n = Array.length sky in
+  let m_max = min k n in
+  (* boundary costs: below the first selected point only the vertical face
+     [x = s.x] matters; above the last only [y = s.y] *)
+  let start_cost = Array.make n 0. in
+  for j = 0 to n - 1 do
+    for q = 0 to j - 1 do
+      start_cost.(j) <-
+        Float.max start_cost.(j) (1. -. (sky.(j).(0) /. sky.(q).(0)))
+    done
+  done;
+  let end_cost = Array.make n 0. in
+  for j = 0 to n - 1 do
+    for q = j + 1 to n - 1 do
+      end_cost.(j) <- Float.max end_cost.(j) (1. -. (sky.(j).(1) /. sky.(q).(1)))
+    done
+  done;
+  (* gap costs between angular neighbors *)
+  let cost = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for q = i + 1 to j - 1 do
+        cost.(i).(j) <- Float.max cost.(i).(j) (gap_regret sky.(i) sky.(j) sky.(q))
+      done
+    done
+  done;
+  (* dp.(m-1).(j): best achievable max-cost over the prefix ending with the
+     (m)-th selected point at [j] *)
+  let dp = Array.make_matrix m_max n infinity in
+  let parent = Array.make_matrix m_max n (-1) in
+  for j = 0 to n - 1 do
+    dp.(0).(j) <- start_cost.(j)
+  done;
+  for m = 1 to m_max - 1 do
+    for j = 0 to n - 1 do
+      for i = 0 to j - 1 do
+        let v = Float.max dp.(m - 1).(i) cost.(i).(j) in
+        if v < dp.(m).(j) then begin
+          dp.(m).(j) <- v;
+          parent.(m).(j) <- i
+        end
+      done
+    done
+  done;
+  (* best over all selection sizes and last points *)
+  let best = ref infinity and best_m = ref 0 and best_j = ref 0 in
+  for m = 0 to m_max - 1 do
+    for j = 0 to n - 1 do
+      let v = Float.max dp.(m).(j) end_cost.(j) in
+      if v < !best then begin
+        best := v;
+        best_m := m;
+        best_j := j
+      end
+    done
+  done;
+  let rec backtrack m j acc =
+    if m = 0 then j :: acc else backtrack (m - 1) parent.(m).(j) (j :: acc)
+  in
+  let chain = backtrack !best_m !best_j [] in
+  { order = List.map (fun j -> order_by_angle.(j)) chain; mrr = Float.max 0. !best }

@@ -1,0 +1,28 @@
+(** Exact k-regret optimum in two dimensions.
+
+    In 2-D the maximum regret ratio of a selection decomposes by angular
+    gaps: sort candidates by the angle of their position vector; between two
+    angularly-consecutive selected points the hull boundary is (at worst)
+    the segment joining them, so the regret of every unselected point is
+    determined by that one face — plus two boundary faces ([x = max x] below
+    the first selected point, [y = max y] above the last). The optimal
+    selection therefore solves a min–max path problem over gap costs, which
+    dynamic programming answers exactly in [O(n^2 k)] time after an
+    [O(n^3)]-worst-case gap-cost precomputation (tiny for the happy-point
+    counts 2-D data produces).
+
+    This mirrors the exact 2-D algorithm of Nanongkai et al. (VLDB 2010,
+    §4); the d >= 3 problem is NP-hard to approximate beyond the greedy
+    guarantees, which is why the paper (and this library) use greedy
+    heuristics there. Used by the test suite to measure how far GeoGreedy
+    is from optimal, and available to users with 2-attribute data. *)
+
+type result = {
+  order : int list;  (** selected indices (into the input array) *)
+  mrr : float;  (** exact optimal maximum regret ratio *)
+}
+
+(** [solve ~points ~k ()] computes an optimal selection of at most [k]
+    points. Points must be strictly positive 2-D vectors. Raises
+    [Invalid_argument] on empty input, non-2-D points, or [k < 1]. *)
+val solve : points:Kregret_geom.Vector.t array -> k:int -> unit -> result

@@ -1,0 +1,49 @@
+module Dataset = Kregret_dataset.Dataset
+
+type algorithm = Greedy_lp | Geo_greedy | Stored_list | Cube
+type candidate_set = All | Sky | Happy
+
+type result = {
+  candidates : Dataset.t;
+  order : int list;
+  selected : Kregret_geom.Vector.t list;
+  mrr : float;
+}
+
+let algorithm_name = function
+  | Greedy_lp -> "Greedy"
+  | Geo_greedy -> "GeoGreedy"
+  | Stored_list -> "StoredList"
+  | Cube -> "Cube"
+
+let candidate_set_name = function All -> "D" | Sky -> "Dsky" | Happy -> "Dhappy"
+
+let reduce ds = function
+  | All -> ds
+  | Sky -> Kregret_skyline.Skyline.of_dataset ds
+  | Happy -> Kregret_happy.Happy.of_dataset ds
+
+let run ?(algorithm = Geo_greedy) ?(candidates = Happy) ds ~k =
+  let cand = reduce ds candidates in
+  let points = cand.Dataset.points in
+  let order, mrr =
+    match algorithm with
+    | Geo_greedy ->
+        let r = Geo_greedy.run ~points ~k () in
+        (r.Geo_greedy.order, r.Geo_greedy.mrr)
+    | Greedy_lp ->
+        let r = Greedy_lp.run ~points ~k () in
+        (r.Greedy_lp.order, r.Greedy_lp.mrr)
+    | Stored_list ->
+        let t = Stored_list.preprocess points in
+        (Stored_list.query t ~k, Stored_list.mrr_at t ~k)
+    | Cube ->
+        let r = Cube.run ~points ~k () in
+        (r.Cube.order, r.Cube.mrr)
+  in
+  {
+    candidates = cand;
+    order;
+    selected = List.map (fun i -> points.(i)) order;
+    mrr;
+  }

@@ -1,0 +1,51 @@
+(** High-level k-regret query façade.
+
+    Ties the pipeline together the way the paper's experiments run it:
+    normalize the data, reduce to a candidate set (skyline or happy points),
+    run an algorithm, and report the selection with its maximum regret
+    ratio. Library users who need finer control (timing phases separately,
+    reusing a materialized StoredList, instrumenting the index) should use
+    {!Geo_greedy}, {!Greedy_lp}, {!Stored_list} and
+    {!Kregret_happy.Happy} directly — this module adds no magic. *)
+
+type algorithm =
+  | Greedy_lp  (** LP-based baseline of Nanongkai et al. *)
+  | Geo_greedy  (** the paper's Algorithm 1 *)
+  | Stored_list  (** materialize-then-answer (preprocessing counted in
+                     [preprocess], query is list truncation) *)
+  | Cube  (** grid baseline of Nanongkai et al. *)
+
+type candidate_set =
+  | All  (** run on the full dataset *)
+  | Sky  (** reduce to skyline points first (prior work's setting) *)
+  | Happy  (** reduce to happy points (the paper's setting; implies a
+               skyline pass) *)
+
+type result = {
+  candidates : Kregret_dataset.Dataset.t;  (** candidate set actually used *)
+  order : int list;  (** selected indices into [candidates.points] *)
+  selected : Kregret_geom.Vector.t list;  (** the answer tuples *)
+  mrr : float;  (** maximum regret ratio of the answer w.r.t. the candidates
+                    (equals mrr w.r.t. the full data when the candidate set
+                    retains the per-dimension boundary points, which both
+                    reductions do) *)
+}
+
+(** [reduce ds set] applies the candidate-set reduction. *)
+val reduce : Kregret_dataset.Dataset.t -> candidate_set -> Kregret_dataset.Dataset.t
+
+(** [run ?algorithm ?candidates ds ~k] answers a k-regret query on a
+    normalized dataset (see {!Kregret_dataset.Dataset.normalize}). Defaults:
+    [Geo_greedy] on [Happy] candidates. *)
+val run :
+  ?algorithm:algorithm ->
+  ?candidates:candidate_set ->
+  Kregret_dataset.Dataset.t ->
+  k:int ->
+  result
+
+(** [algorithm_name] / [candidate_set_name] — display labels used by the CLI
+    and benches. *)
+val algorithm_name : algorithm -> string
+
+val candidate_set_name : candidate_set -> string

@@ -1,0 +1,112 @@
+module Vector = Kregret_geom.Vector
+
+type t = {
+  order_array : int array;
+  (* mrr_after.(i) = maximum regret ratio of the first i+1 list entries *)
+  mrr_after : float array;
+}
+
+let preprocess ?eps ?max_length points =
+  let n = Array.length points in
+  let budget = match max_length with None -> n | Some m -> min m n in
+  let table = Hashtbl.create 16 in
+  let result =
+    Geo_greedy.run ?eps
+      ~on_step:(fun ~size ~mrr -> Hashtbl.replace table size mrr)
+      ~points ~k:budget ()
+  in
+  let order_array = Array.of_list result.Geo_greedy.order in
+  let data = Array.to_list points in
+  let mrr_after =
+    Array.mapi
+      (fun i _ ->
+        let size = i + 1 in
+        match Hashtbl.find_opt table size with
+        | Some mrr -> mrr
+        | None ->
+            (* prefixes shorter than the boundary seeding are not visited by
+               the greedy loop; evaluate them directly *)
+            let selected =
+              List.init size (fun j -> points.(order_array.(j)))
+            in
+            Mrr.geometric ~data ~selected)
+      order_array
+  in
+  { order_array; mrr_after }
+
+let length t = Array.length t.order_array
+let order t = Array.to_list t.order_array
+
+let query t ~k =
+  if k < 1 then invalid_arg "Stored_list.query: k must be positive";
+  let len = min k (length t) in
+  List.init len (fun i -> t.order_array.(i))
+
+let mrr_at t ~k =
+  if k < 1 then invalid_arg "Stored_list.mrr_at: k must be positive";
+  let len = min k (length t) in
+  t.mrr_after.(len - 1)
+
+(* ---- persistence ---------------------------------------------------------
+
+   Text format:
+     # kregret-stored-list v1 n=<candidates> fp=<fingerprint>
+     <index> <mrr>
+     ...
+   The fingerprint is an FNV-1a hash over the raw float bits of the candidate
+   array, enough to catch the realistic failure mode: replaying a list
+   against a regenerated or re-ordered dataset. *)
+
+let fingerprint points =
+  let h = ref 0xcbf29ce484222325L in
+  let mix bits =
+    h := Int64.mul (Int64.logxor !h bits) 0x100000001b3L
+  in
+  Array.iter
+    (fun p ->
+      Array.iter (fun x -> mix (Int64.bits_of_float x)) p)
+    points;
+  Printf.sprintf "%016Lx" !h
+
+let save t ~points path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# kregret-stored-list v1 n=%d fp=%s\n"
+        (Array.length points) (fingerprint points);
+      Array.iteri
+        (fun i idx -> Printf.fprintf oc "%d %.17g\n" idx t.mrr_after.(i))
+        t.order_array)
+
+let load ~points path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> failwith "Stored_list.load: empty file" in
+      let expected =
+        Printf.sprintf "# kregret-stored-list v1 n=%d fp=%s"
+          (Array.length points) (fingerprint points)
+      in
+      if header <> expected then
+        failwith "Stored_list.load: fingerprint mismatch (different candidate set?)";
+      let order = ref [] and mrrs = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             Scanf.sscanf line "%d %f" (fun idx mrr ->
+                 if idx < 0 || idx >= Array.length points then
+                   failwith "Stored_list.load: index out of range";
+                 order := idx :: !order;
+                 mrrs := mrr :: !mrrs)
+         done
+       with
+      | End_of_file -> ()
+      | Scanf.Scan_failure _ | Failure _ ->
+          failwith "Stored_list.load: malformed entry");
+      {
+        order_array = Array.of_list (List.rev !order);
+        mrr_after = Array.of_list (List.rev !mrrs);
+      })

@@ -1,0 +1,16 @@
+module Vector = Kregret_geom.Vector
+
+let names =
+  [|
+    "BMW M3 GTS"; "Chevrolet Camaro SS"; "Ford Shelby GT500"; "Nissan 370Z coupe";
+  |]
+
+let cars =
+  [| [| 0.94; 0.8 |]; [| 0.76; 0.93 |]; [| 0.67; 1.00 |]; [| 1.00; 0.72 |] |]
+
+let dataset = Kregret_dataset.Dataset.create ~name:"cars" cars
+
+let weights = [ [| 0.3; 0.7 |]; [| 0.5; 0.5 |]; [| 0.7; 0.3 |] ]
+
+let utility_table () =
+  Array.map (fun car -> Array.of_list (List.map (fun w -> Vector.dot w car) weights)) cars

@@ -1,0 +1,24 @@
+(** The paper's running car example (Tables I and II, Section II).
+
+    Four cars with normalized MPG and HP, and the finite utility-function
+    class [{f_(0.3,0.7), f_(0.5,0.5), f_(0.7,0.3)}] where
+    [f_(a,b) = a * MPG + b * HP]. Used by the quickstart example and by unit
+    tests that pin the worked numbers from the paper
+    ([mrr {p2, p3} = 0.115]). *)
+
+(** Car names, in Table I order. *)
+val names : string array
+
+(** The four points [(MPG, HP)]: BMW M3 GTS, Chevrolet Camaro SS, Ford
+    Shelby GT500, Nissan 370Z coupe. *)
+val cars : Kregret_geom.Vector.t array
+
+(** The dataset view of {!cars}. *)
+val dataset : Kregret_dataset.Dataset.t
+
+(** The three weight vectors of the example's function class. *)
+val weights : Kregret_geom.Vector.t list
+
+(** [utility_table ()] recomputes Table II: [utilities.(i).(j)] is the
+    utility of car [i] under weight [j]. *)
+val utility_table : unit -> float array array

@@ -1,0 +1,82 @@
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Rng = Kregret_dataset.Rng
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+
+type report = {
+  candidates : int;
+  skyline : int;
+  geo_mrr : float;
+  lp_mrr : float;
+  stored_mrr : float;
+  exact_over_full : float;
+  sampled_lower_bound : float;
+  ok : bool;
+  failures : string list;
+}
+
+let run ?(samples = 10_000) ?(eps = 1e-6) ds ~k =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  let sky = Skyline.of_dataset ds in
+  let happy_idx = Happy.happy_points sky.Dataset.points in
+  let happy = Dataset.sub sky ~indices:happy_idx in
+  (* Lemma 3 inclusion (happy is computed within the skyline, so only the
+     size relation and membership need checking here) *)
+  if Dataset.size happy > Dataset.size sky then
+    fail "happy tier larger than skyline";
+  Array.iter
+    (fun p ->
+      if
+        not
+          (Array.exists (fun q -> Vector.equal ~eps:0. p q) sky.Dataset.points)
+      then fail "happy point missing from the skyline")
+    happy.Dataset.points;
+  let points = happy.Dataset.points in
+  let geo = Geo_greedy.run ~points ~k () in
+  let lp = Greedy_lp.run ~points ~k () in
+  if abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) > eps then
+    fail "GeoGreedy mrr %.8f disagrees with Greedy mrr %.8f" geo.Geo_greedy.mrr
+      lp.Greedy_lp.mrr;
+  let sl = Stored_list.preprocess ~max_length:(max k 8) points in
+  let stored_mrr = Stored_list.mrr_at sl ~k in
+  if Stored_list.query sl ~k <> geo.Geo_greedy.order then
+    fail "StoredList prefix differs from GeoGreedy order";
+  if abs_float (stored_mrr -. geo.Geo_greedy.mrr) > eps then
+    fail "StoredList mrr %.8f disagrees with GeoGreedy mrr %.8f" stored_mrr
+      geo.Geo_greedy.mrr;
+  let selected = List.map (fun i -> points.(i)) geo.Geo_greedy.order in
+  let data = Dataset.to_list ds in
+  let exact_over_full = Mrr.geometric ~data ~selected in
+  let lp_over_full = Mrr.lp ~data ~selected in
+  if abs_float (exact_over_full -. lp_over_full) > eps then
+    fail "geometric evaluator %.8f disagrees with LP evaluator %.8f"
+      exact_over_full lp_over_full;
+  let sampled_lower_bound =
+    Mrr.sampled ~rng:(Rng.create 0xA11CE) ~samples ~data ~selected
+  in
+  if sampled_lower_bound > exact_over_full +. eps then
+    fail "sampled regret %.8f exceeds the exact value %.8f" sampled_lower_bound
+      exact_over_full;
+  {
+    candidates = Dataset.size happy;
+    skyline = Dataset.size sky;
+    geo_mrr = geo.Geo_greedy.mrr;
+    lp_mrr = lp.Greedy_lp.mrr;
+    stored_mrr;
+    exact_over_full;
+    sampled_lower_bound;
+    ok = !failures = [];
+    failures = List.rev !failures;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "candidates: %d happy of %d skyline@." r.candidates r.skyline;
+  Format.fprintf ppf "mrr: GeoGreedy=%.6f Greedy=%.6f StoredList=%.6f@."
+    r.geo_mrr r.lp_mrr r.stored_mrr;
+  Format.fprintf ppf "over full data: exact=%.6f sampled>=%.6f@."
+    r.exact_over_full r.sampled_lower_bound;
+  if r.ok then Format.fprintf ppf "consistency: OK@."
+  else
+    List.iter (fun m -> Format.fprintf ppf "consistency FAILURE: %s@." m) r.failures

@@ -1,0 +1,34 @@
+(** End-to-end consistency checking — the library's self-test, exposed as an
+    API (and wired to `kregret validate` in the CLI).
+
+    Runs the full pipeline on a dataset and cross-checks everything the
+    paper's correctness argument rests on:
+
+    - GeoGreedy and the LP-based Greedy return the same maximum regret ratio
+      (they are the same algorithm, Lemma 1 only changes how line 6 of
+      Algorithm 1 is computed);
+    - StoredList's prefix answer matches GeoGreedy's direct answer;
+    - the geometric and LP evaluators agree on the final selection;
+    - Monte-Carlo sampling never exceeds the exact value (it is a lower
+      bound over a subset of the function class);
+    - Lemma 3's inclusions hold on the computed candidate tiers. *)
+
+type report = {
+  candidates : int;  (** size of the happy candidate set used *)
+  skyline : int;  (** size of the skyline tier *)
+  geo_mrr : float;
+  lp_mrr : float;
+  stored_mrr : float;
+  exact_over_full : float;  (** geometric mrr of the answer vs the full data *)
+  sampled_lower_bound : float;
+  ok : bool;  (** all checks passed *)
+  failures : string list;  (** human-readable descriptions of any violations *)
+}
+
+(** [run ds ~k] validates the pipeline on a normalized dataset.
+    [samples] controls the Monte-Carlo check (default 10,000); [eps] the
+    agreement tolerance (default 1e-6). *)
+val run : ?samples:int -> ?eps:float -> Kregret_dataset.Dataset.t -> k:int -> report
+
+(** [pp_report] prints the report in the CLI's format. *)
+val pp_report : Format.formatter -> report -> unit

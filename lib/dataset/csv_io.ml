@@ -1,0 +1,68 @@
+let parse_line line =
+  let fields = String.split_on_char ',' line in
+  let parse f =
+    match float_of_string_opt (String.trim f) with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "Csv_io: bad field %S" f)
+  in
+  Array.of_list (List.map parse fields)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# name=%s dim=%d n=%d\n" t.Dataset.name t.Dataset.dim
+        (Dataset.size t);
+      Array.iter
+        (fun p ->
+          Array.iteri
+            (fun i x ->
+              if i > 0 then output_char oc ',';
+              Printf.fprintf oc "%.17g" x)
+            p;
+          output_char oc '\n')
+        t.Dataset.points)
+
+let header_name line =
+  (* parse "# name=foo dim=..." *)
+  let tokens = String.split_on_char ' ' line in
+  List.find_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = "name" ->
+          Some (String.sub tok (i + 1) (String.length tok - i - 1))
+      | _ -> None)
+    tokens
+
+let load ?name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let points = ref [] in
+      let header = ref None in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line > 0 && line.[0] = '#' then begin
+             if !header = None then header := header_name line
+           end
+           else
+             match parse_line line with
+             | p -> points := p :: !points
+             | exception Failure msg ->
+                 failwith (Printf.sprintf "%s (line %d)" msg !lineno)
+         done
+       with End_of_file -> ());
+      let name =
+        match (name, !header) with
+        | Some n, _ -> n
+        | None, Some n -> n
+        | None, None -> Filename.remove_extension (Filename.basename path)
+      in
+      Dataset.create ~name (Array.of_list (List.rev !points)))

@@ -1,0 +1,57 @@
+(** Synthetic workload generators.
+
+    Two families:
+
+    - The three classic distributions of the skyline benchmark of Börzsönyi,
+      Kossmann & Stocker (ICDE 2001), which the paper uses for its synthetic
+      experiments (Section V-C uses the anti-correlated one).
+    - Simulators standing in for the paper's four real datasets (household /
+      nba / color / stocks), which are not redistributable; each simulator
+      matches the real dataset's dimensionality and produces the same
+      qualitative skyline structure (see DESIGN.md §5 for the substitution
+      argument). Sizes default to laptop-scale but are parameters.
+
+    All generators return datasets already normalized to the paper's data
+    model ([(0,1]^d] with per-dimension maxima equal to 1) and are
+    deterministic in the seed. *)
+
+(** [independent rng ~n ~d] — coordinates i.i.d. uniform on (0,1]. *)
+val independent : Rng.t -> n:int -> d:int -> Dataset.t
+
+(** [correlated rng ~n ~d] — points spread around the main diagonal; good
+    points are good everywhere, so skylines are tiny. *)
+val correlated : Rng.t -> n:int -> d:int -> Dataset.t
+
+(** [anti_correlated rng ~n ~d] — points spread around the hyperplane
+    [sum x_i = const]; being good in one dimension means being bad in
+    others, so skylines are large. This is the paper's default synthetic
+    workload (n = 10,000, d = 6). *)
+val anti_correlated : Rng.t -> n:int -> d:int -> Dataset.t
+
+(** [household_like rng ~n] — 6 attributes mimicking the ipums.org household
+    economics table: mixture of correlated blocks with heavy-tailed
+    marginals; large skyline, much smaller happy set. Default n in the
+    benches: 100,000 (paper: 903,077). *)
+val household_like : Rng.t -> n:int -> Dataset.t
+
+(** [nba_like rng ~n] — 5 positively-correlated box-score rates (points,
+    rebounds, assists, steals, blocks); small skyline. Paper: 21,962. *)
+val nba_like : Rng.t -> n:int -> Dataset.t
+
+(** [color_like rng ~n] — 9 clustered color-histogram moments (kdd.ics); the
+    high-dimensionality workload. Paper: 68,040. *)
+val color_like : Rng.t -> n:int -> Dataset.t
+
+(** [stocks_like rng ~n] — 5 mildly anti-correlated financial indicators
+    (return vs. stability trade-offs). Paper: 122,574. *)
+val stocks_like : Rng.t -> n:int -> Dataset.t
+
+(** [by_name name] looks a generator up by its dataset name
+    (["independent"], ["correlated"], ["anti_correlated"], ["household"],
+    ["nba"], ["color"], ["stocks"]); the returned function takes the seed,
+    [n], and (for the synthetic family) [d]. Raises [Not_found] for unknown
+    names. *)
+val by_name : string -> Rng.t -> n:int -> d:int -> Dataset.t
+
+(** All simulator names, in Table III order. *)
+val real_like_names : string list

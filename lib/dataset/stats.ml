@@ -1,0 +1,77 @@
+module Vector = Kregret_geom.Vector
+module Matrix = Kregret_geom.Matrix
+
+let fold_dims ds f init =
+  let acc = Array.make ds.Dataset.dim init in
+  Array.iter
+    (fun p ->
+      for i = 0 to ds.Dataset.dim - 1 do
+        acc.(i) <- f acc.(i) p.(i)
+      done)
+    ds.Dataset.points;
+  acc
+
+let means ds =
+  let n = float_of_int (Dataset.size ds) in
+  Array.map (fun s -> s /. n) (fold_dims ds ( +. ) 0.)
+
+let stddevs ds =
+  let n = float_of_int (Dataset.size ds) in
+  let mu = means ds in
+  let sq = Array.make ds.Dataset.dim 0. in
+  Array.iter
+    (fun p ->
+      for i = 0 to ds.Dataset.dim - 1 do
+        let d = p.(i) -. mu.(i) in
+        sq.(i) <- sq.(i) +. (d *. d)
+      done)
+    ds.Dataset.points;
+  Array.map (fun s -> sqrt (s /. n)) sq
+
+let minima ds = fold_dims ds Float.min infinity
+let maxima ds = fold_dims ds Float.max neg_infinity
+
+let correlation ds =
+  let d = ds.Dataset.dim in
+  let n = float_of_int (Dataset.size ds) in
+  let mu = means ds in
+  let sigma = stddevs ds in
+  let cov = Matrix.make d d 0. in
+  Array.iter
+    (fun p ->
+      for i = 0 to d - 1 do
+        for j = 0 to d - 1 do
+          cov.(i).(j) <- cov.(i).(j) +. ((p.(i) -. mu.(i)) *. (p.(j) -. mu.(j)))
+        done
+      done)
+    ds.Dataset.points;
+  Matrix.init d d (fun i j ->
+      if i = j then 1.
+      else if sigma.(i) <= 0. || sigma.(j) <= 0. then 0.
+      else cov.(i).(j) /. (n *. sigma.(i) *. sigma.(j)))
+
+let mean_pairwise_correlation ds =
+  let d = ds.Dataset.dim in
+  if d < 2 then 0.
+  else begin
+    let c = correlation ds in
+    let total = ref 0. in
+    for i = 0 to d - 1 do
+      for j = 0 to d - 1 do
+        if i <> j then total := !total +. c.(i).(j)
+      done
+    done;
+    !total /. float_of_int (d * (d - 1))
+  end
+
+let pp_summary ppf ds =
+  let mu = means ds and sigma = stddevs ds in
+  let lo = minima ds and hi = maxima ds in
+  Format.fprintf ppf "%a@." Dataset.pp_stats ds;
+  Format.fprintf ppf "%-5s %-9s %-9s %-9s %-9s@." "dim" "mean" "std" "min" "max";
+  for i = 0 to ds.Dataset.dim - 1 do
+    Format.fprintf ppf "%-5d %-9.4f %-9.4f %-9.4f %-9.4f@." i mu.(i) sigma.(i)
+      lo.(i) hi.(i)
+  done;
+  Format.fprintf ppf "mean pairwise correlation: %+.4f@."
+    (mean_pairwise_correlation ds)

@@ -1,0 +1,30 @@
+(** Descriptive statistics for datasets.
+
+    Used by the CLI's [stats --summary] and by the test suite to verify that
+    the synthetic generators actually produce the correlation structure they
+    claim (correlated / anti-correlated / independent), which is what drives
+    skyline and happy-set sizes in the paper's experiments. *)
+
+(** [means ds] is the per-dimension mean. *)
+val means : Dataset.t -> Kregret_geom.Vector.t
+
+(** [stddevs ds] is the per-dimension (population) standard deviation. *)
+val stddevs : Dataset.t -> Kregret_geom.Vector.t
+
+(** [minima ds] / [maxima ds] — per-dimension extrema. *)
+val minima : Dataset.t -> Kregret_geom.Vector.t
+
+val maxima : Dataset.t -> Kregret_geom.Vector.t
+
+(** [correlation ds] is the d*d Pearson correlation matrix. Dimensions with
+    zero variance correlate 0 with everything (and 1 with themselves). *)
+val correlation : Dataset.t -> Kregret_geom.Matrix.t
+
+(** [mean_pairwise_correlation ds] averages the off-diagonal entries of
+    {!correlation} — positive for correlated data, negative for
+    anti-correlated, near zero for independent. *)
+val mean_pairwise_correlation : Dataset.t -> float
+
+(** [pp_summary] prints a per-dimension table (mean/std/min/max) and the
+    mean pairwise correlation. *)
+val pp_summary : Format.formatter -> Dataset.t -> unit

@@ -1,0 +1,99 @@
+type t = float array
+
+let dim = Array.length
+let make = Array.make
+let init = Array.init
+let copy = Array.copy
+let zero d = Array.make d 0.
+
+let basis d i =
+  if i < 0 || i >= d then invalid_arg "Vector.basis: index out of range";
+  let v = Array.make d 0. in
+  v.(i) <- 1.;
+  v
+
+let check_dim u v name =
+  if Array.length u <> Array.length v then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let dot u v =
+  check_dim u v "Vector.dot";
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+let norm v = sqrt (dot v v)
+
+let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0. v
+
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (abs_float x)) 0. v
+
+let add u v =
+  check_dim u v "Vector.add";
+  Array.init (Array.length u) (fun i -> u.(i) +. v.(i))
+
+let sub u v =
+  check_dim u v "Vector.sub";
+  Array.init (Array.length u) (fun i -> u.(i) -. v.(i))
+
+let scale a v = Array.map (fun x -> a *. x) v
+
+let add_in_place u v =
+  check_dim u v "Vector.add_in_place";
+  for i = 0 to Array.length u - 1 do
+    u.(i) <- u.(i) +. v.(i)
+  done
+
+let scale_in_place a v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- a *. v.(i)
+  done
+
+let normalize v =
+  let n = norm v in
+  if n = 0. then invalid_arg "Vector.normalize: zero vector";
+  scale (1. /. n) v
+
+let lerp u v t =
+  check_dim u v "Vector.lerp";
+  Array.init (Array.length u) (fun i -> ((1. -. t) *. u.(i)) +. (t *. v.(i)))
+
+let cos_angle u v =
+  let nu = norm u and nv = norm v in
+  if nu = 0. || nv = 0. then invalid_arg "Vector.cos_angle: zero vector";
+  dot u v /. (nu *. nv)
+
+let equal ~eps u v =
+  Array.length u = Array.length v
+  &&
+  let rec go i =
+    i >= Array.length u || (abs_float (u.(i) -. v.(i)) <= eps && go (i + 1))
+  in
+  go 0
+
+let extremum_coord better v =
+  let best = ref 0 in
+  for i = 1 to Array.length v - 1 do
+    if better v.(i) v.(!best) then best := i
+  done;
+  (!best, v.(!best))
+
+let max_coord v = extremum_coord (fun a b -> a > b) v
+let min_coord v = extremum_coord (fun a b -> a < b) v
+let sum v = Array.fold_left ( +. ) 0. v
+let for_all = Array.for_all
+let exists = Array.exists
+let is_nonneg ~eps v = for_all (fun x -> x >= -.eps) v
+
+let pp ppf v =
+  Format.fprintf ppf "(";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%.4f" x)
+    v;
+  Format.fprintf ppf ")"
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,86 @@
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+
+let default_eps = 1e-9
+
+let cut_box_vertices ?(eps = default_eps) q =
+  let d = Vector.dim q in
+  if d > 20 then invalid_arg "Happy.cut_box_vertices: d > 20";
+  let out = ref [] in
+  for mask = 0 to (1 lsl d) - 1 do
+    let corner =
+      Array.init d (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.)
+    in
+    let s = Vector.dot corner q in
+    if s <= 1. +. eps then out := corner :: !out;
+    (* edges leaving this corner upward in dimension i (bit i clear): the cut
+       hyperplane crosses the edge when s < 1 < s + q_i *)
+    for i = 0 to d - 1 do
+      if mask land (1 lsl i) = 0 then begin
+        let s_top = s +. q.(i) in
+        if s < 1. -. eps && s_top > 1. +. eps then begin
+          let w = Array.copy corner in
+          w.(i) <- (1. -. s) /. q.(i);
+          out := w :: !out
+        end
+      end
+    done
+  done;
+  !out
+
+(* "p is on or below every hyperplane of Y(q)" == p is in the polytope P_q,
+   tested against all dual vertices. *)
+let inside_pq ~eps vertices p =
+  List.for_all (fun w -> Vector.dot w p <= 1. +. eps) vertices
+
+(* "p is on every hyperplane of Y(q)": the common intersection of the
+   non-origin facet hyperplanes of P_q is {sum x = 1} when q is inside the
+   unit simplex and the single point {q} otherwise (see .mli). *)
+let on_all_hyperplanes ~eps q p =
+  if Vector.sum q <= 1. +. eps then abs_float (Vector.sum p -. 1.) <= eps
+  else Vector.equal ~eps p q
+
+let subjugates ?(eps = default_eps) q p =
+  let vertices = cut_box_vertices ~eps q in
+  inside_pq ~eps vertices p && not (on_all_hyperplanes ~eps q p)
+
+let is_happy ?(eps = default_eps) ~candidates p =
+  not
+    (List.exists
+       (fun q -> (not (Vector.equal ~eps:0. q p)) && subjugates ~eps q p)
+       candidates)
+
+let happy_points ?(eps = default_eps) points =
+  let n = Array.length points in
+  let vertex_sets = Array.map (fun q -> cut_box_vertices ~eps q) points in
+  (* probe strong subjugators first: a point with a large coordinate sum has
+     a large [P_q] and disqualifies most victims, so the inner loop's early
+     exit fires after a handful of probes instead of O(n) *)
+  let probe_order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> compare (Vector.sum points.(b)) (Vector.sum points.(a)))
+    probe_order;
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    let p = points.(i) in
+    let subjugated = ref false in
+    Array.iter
+      (fun j ->
+        if (not !subjugated) && j <> i then begin
+          let q = points.(j) in
+          if
+            (not (Vector.equal ~eps:0. q p))
+            && inside_pq ~eps vertex_sets.(j) p
+            && not (on_all_hyperplanes ~eps q p)
+          then subjugated := true
+        end)
+      probe_order;
+    if not !subjugated then keep := i :: !keep
+  done;
+  Array.of_list !keep
+
+let of_dataset ?eps ds =
+  let sky = Kregret_skyline.Skyline.of_dataset ds in
+  let indices = happy_points ?eps sky.Dataset.points in
+  let sub = Dataset.sub sky ~indices in
+  { sub with Dataset.name = ds.Dataset.name ^ "/happy" }

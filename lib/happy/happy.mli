@@ -1,0 +1,52 @@
+(** Happy points (Definition 4 and Lemmas 2–5 of the paper).
+
+    A point [p] is {e subjugated} by [q] when [p] lies on or below every
+    hyperplane of [Y(q)] — the hyperplanes carrying the faces of
+    [Conv({q} ∪ VC)] that do not pass through the origin (VC = the unit
+    basis "virtual corner" points) — and strictly below at least one of
+    them. Happy points are the points subjugated by nobody; by Lemma 2 they
+    are a complete candidate set for the k-regret query, and by Lemma 3
+    [D_conv ⊆ D_happy ⊆ D_sky].
+
+    Implementation (DESIGN.md §2): [P_q = Conv({q} ∪ VC)] dualizes to
+    [Q_q = [0,1]^d ∩ { w . q <= 1 }] — a unit box cut by a single
+    halfspace, whose vertices are enumerable in closed form. Then
+
+    - "on or below every hyperplane of Y(q)" iff [p ∈ P_q] iff
+      [w . p <= 1] for every vertex [w] of [Q_q];
+    - "below at least one" iff [p] is not on the common intersection of the
+      [Y(q)] hyperplanes, which is the simplex face [{sum x = 1}] when
+      [sum q <= 1] and the single point [{q}] when [sum q > 1] (every
+      non-origin facet of [P_q] then passes through the vertex [q], and
+      [q]'s strictly positive coordinates rule coordinate planes out).
+
+    The pairwise scan is the paper's [O(n^2 d 2^d)] algorithm (Section
+    III-B); pass skyline points only — subjugation by a dominated point is
+    always witnessed by its dominator, so filtering to [D_sky] first loses
+    nothing and is how the paper's experiments run. *)
+
+(** [cut_box_vertices ~eps q] enumerates the vertices of
+    [Q_q = [0,1]^d ∩ {w . q <= 1}]: the surviving box corners plus the
+    intersections of the cut hyperplane with box edges. *)
+val cut_box_vertices :
+  ?eps:float -> Kregret_geom.Vector.t -> Kregret_geom.Vector.t list
+
+(** [subjugates ~eps q p] — does [q] subjugate [p]? Both points must be
+    strictly positive and lie in [(0,1]^d]. A point never subjugates itself
+    (or an exact duplicate). *)
+val subjugates : ?eps:float -> Kregret_geom.Vector.t -> Kregret_geom.Vector.t -> bool
+
+(** [is_happy ~candidates p] — true when no point of [candidates] subjugates
+    [p] ([p] itself, by identity or by value, never counts against). *)
+val is_happy :
+  ?eps:float -> candidates:Kregret_geom.Vector.t list -> Kregret_geom.Vector.t ->
+  bool
+
+(** [happy_points points] filters an array to its happy members, returning
+    ascending indices (mirroring {!Kregret_skyline.Skyline}). The input
+    should normally be a skyline. *)
+val happy_points : ?eps:float -> Kregret_geom.Vector.t array -> int array
+
+(** [of_dataset ds] computes skyline then happy points, returning the happy
+    subset as a dataset named ["<name>/happy"]. *)
+val of_dataset : ?eps:float -> Kregret_dataset.Dataset.t -> Kregret_dataset.Dataset.t

@@ -1,0 +1,50 @@
+(** Incremental (beneath-beyond) convex hull in R^d.
+
+    The primal-side counterpart of the dual machinery in {!Dd}: the paper
+    describes GeoGreedy in terms of the faces of the primal hull [Conv(S)]
+    and a ray-shooting index over them; this library computes with the dual
+    polytope instead (DESIGN.md §2). This module provides an independent,
+    direct primal hull so the test suite can cross-validate the two views
+    (hull membership vs LP membership, support functions, vertex sets) and
+    so users get a general-purpose hull for their own geometry.
+
+    Facets are simplicial ((d)-vertex). The implementation assumes points in
+    {e general position}: a point lying exactly on a facet's hyperplane
+    (within [eps]) is treated as interior, so for degenerate inputs the
+    reported hull may omit boundary-coplanar vertices — acceptable for the
+    validation use-case, by design. Raises on inputs whose affine hull is
+    lower-dimensional. *)
+
+type facet = {
+  normal : Kregret_geom.Vector.t;  (** outward unit normal *)
+  offset : float;  (** [normal . x = offset] contains the facet *)
+  vertices : int array;  (** sorted indices of the d vertices *)
+}
+
+type t
+
+(** [of_points points] computes the hull. Raises [Invalid_argument] when
+    fewer than [d+1] affinely independent points exist. [eps] (default
+    [1e-9]) is the visibility tolerance. *)
+val of_points : ?eps:float -> Kregret_geom.Vector.t array -> t
+
+(** [facets t] is the simplicial facet list. *)
+val facets : t -> facet list
+
+(** [num_facets t] is [List.length (facets t)]. *)
+val num_facets : t -> int
+
+(** [vertices t] is the sorted list of input indices that appear as hull
+    vertices. *)
+val vertices : t -> int list
+
+(** [contains ?eps t p] tests hull membership (below every facet). *)
+val contains : ?eps:float -> t -> Kregret_geom.Vector.t -> bool
+
+(** [support t w] is [max { x . w : x in hull }], attained at a vertex. *)
+val support : t -> Kregret_geom.Vector.t -> float
+
+(** [check_invariants t] — every facet's vertices lie on its hyperplane,
+    every input point lies on or below every facet, and every ridge is
+    shared by exactly two facets. Raises [Failure] on violation. *)
+val check_invariants : t -> unit

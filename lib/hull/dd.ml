@@ -1,0 +1,225 @@
+module Vector = Kregret_geom.Vector
+module Matrix = Kregret_geom.Matrix
+
+type vertex = { id : int; w : Vector.t; tight : int array }
+
+type t = {
+  d : int;
+  bound : float;
+  (* constraint j: normals.(j) . w <= offsets.(j).
+     Layout: 0..d-1 nonnegativity (-w_i <= 0), d..2d-1 box (w_i <= bound),
+     2d.. user constraints. *)
+  mutable normals : Vector.t array;
+  mutable offsets : float array;
+  mutable ncons : int;
+  vertices : (int, vertex) Hashtbl.t;
+  mutable next_id : int;
+  class_eps : float; (* strictly-inside / on / cut classification *)
+  tight_eps : float; (* tight-set recomputation *)
+}
+
+type event = {
+  removed : int list;
+  created : vertex list;
+  touched : vertex list;
+  redundant : bool;
+}
+
+let dim t = t.d
+let num_vertices t = Hashtbl.length t.vertices
+let num_constraints t = t.ncons - (2 * t.d)
+let vertices t = Hashtbl.fold (fun _ v acc -> v :: acc) t.vertices []
+let find_vertex t id = Hashtbl.find_opt t.vertices id
+
+let grow t =
+  if t.ncons = Array.length t.normals then begin
+    let cap = max 16 (2 * t.ncons) in
+    let normals = Array.make cap [||] in
+    let offsets = Array.make cap 0. in
+    Array.blit t.normals 0 normals 0 t.ncons;
+    Array.blit t.offsets 0 offsets 0 t.ncons;
+    t.normals <- normals;
+    t.offsets <- offsets
+  end
+
+let push_constraint t normal offset =
+  grow t;
+  let j = t.ncons in
+  t.normals.(j) <- normal;
+  t.offsets.(j) <- offset;
+  t.ncons <- j + 1;
+  j
+
+let slack t j w = Vector.dot t.normals.(j) w -. t.offsets.(j)
+
+(* Tolerances scale with the vertex magnitude so that vertices sitting on the
+   (potentially huge) artificial bounding box are classified as robustly as
+   the unit-scale vertices the regret queries care about. *)
+let vertex_scale w = Float.max 1. (Vector.norm_inf w)
+
+(* Exact tight set of a point against all current constraints. *)
+let compute_tight t w =
+  let eps = t.tight_eps *. vertex_scale w in
+  let out = ref [] in
+  for j = t.ncons - 1 downto 0 do
+    if abs_float (slack t j w) <= eps then out := j :: !out
+  done;
+  Array.of_list !out
+
+let fresh_vertex t w =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let v = { id; w; tight = compute_tight t w } in
+  Hashtbl.replace t.vertices id v;
+  v
+
+let create ?(bound = 1e3) ~dim () =
+  if dim < 1 || dim > 20 then invalid_arg "Dd.create: dim out of [1, 20]";
+  let t =
+    {
+      d = dim;
+      bound;
+      normals = [||];
+      offsets = [||];
+      ncons = 0;
+      vertices = Hashtbl.create 64;
+      next_id = 0;
+      class_eps = 1e-9;
+      tight_eps = 1e-8;
+    }
+  in
+  for i = 0 to dim - 1 do
+    ignore (push_constraint t (Vector.scale (-1.) (Vector.basis dim i)) 0.)
+  done;
+  for i = 0 to dim - 1 do
+    ignore (push_constraint t (Vector.basis dim i) bound)
+  done;
+  (* box corners *)
+  for mask = 0 to (1 lsl dim) - 1 do
+    let w =
+      Array.init dim (fun i -> if mask land (1 lsl i) <> 0 then bound else 0.)
+    in
+    ignore (fresh_vertex t w)
+  done;
+  t
+
+(* sorted-array intersection size, with early abort once [limit] reached *)
+let intersect_tight a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      out := x :: !out;
+      incr i;
+      incr j
+    end
+    else if x < y then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+(* u and v are adjacent iff their common tight constraints span a rank-(d-1)
+   subspace (Fukuda–Prodon algebraic adjacency). *)
+let adjacent t u v =
+  let common = intersect_tight u.tight v.tight in
+  if Array.length common < t.d - 1 then false
+  else begin
+    let m = Array.map (fun j -> t.normals.(j)) common in
+    Matrix.rank ~eps:1e-9 m >= t.d - 1
+  end
+
+let add_constraint t ~normal ~offset =
+  if Vector.dim normal <> t.d then
+    invalid_arg "Dd.add_constraint: dimension mismatch";
+  let slacks = Hashtbl.create (num_vertices t) in
+  let cut = ref [] and kept_strict = ref [] and on = ref [] in
+  Hashtbl.iter
+    (fun id v ->
+      let s = Vector.dot normal v.w -. offset in
+      let eps = t.class_eps *. vertex_scale v.w in
+      Hashtbl.replace slacks id s;
+      if s > eps then cut := v :: !cut
+      else if s < -.eps then kept_strict := v :: !kept_strict
+      else on := v :: !on)
+    t.vertices;
+  let j = push_constraint t normal offset in
+  (* vertices exactly on the new hyperplane gain it in their tight set *)
+  let touched =
+    List.map
+      (fun v ->
+        let v' = { v with tight = compute_tight t v.w } in
+        Hashtbl.replace t.vertices v.id v';
+        v')
+      !on
+  in
+  match !cut with
+  | [] -> { removed = []; created = []; touched; redundant = true }
+  | cut_list ->
+      (* candidate new vertices: intersections of edges (u kept, v cut) *)
+      let created = ref [] in
+      let too_close x y = Vector.equal ~eps:(10. *. t.tight_eps) x y in
+      let consider x =
+        let dup =
+          List.exists (fun v -> too_close v.w x) !created
+          || List.exists (fun v -> too_close v.w x) !on
+        in
+        if not dup then created := fresh_vertex t x :: !created
+      in
+      List.iter
+        (fun v ->
+          let sv = Hashtbl.find slacks v.id in
+          List.iter
+            (fun u ->
+              if adjacent t u v then begin
+                let su = Hashtbl.find slacks u.id in
+                let alpha = su /. (su -. sv) in
+                consider (Vector.lerp u.w v.w alpha)
+              end)
+            !kept_strict)
+        cut_list;
+      List.iter (fun v -> Hashtbl.remove t.vertices v.id) cut_list;
+      ignore j;
+      {
+        removed = List.map (fun v -> v.id) cut_list;
+        created = !created;
+        touched;
+        redundant = false;
+      }
+
+let max_dot t q =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ v ->
+      let x = Vector.dot v.w q in
+      match !best with
+      | Some (_, bx) when bx >= x -> ()
+      | _ -> best := Some (v, x))
+    t.vertices;
+  match !best with
+  | Some r -> r
+  | None -> invalid_arg "Dd.max_dot: polytope has no vertices"
+
+let contains ~eps t w =
+  let ok = ref true in
+  for j = 0 to t.ncons - 1 do
+    if slack t j w > eps then ok := false
+  done;
+  !ok
+
+let check_invariants ?(eps = 1e-7) t =
+  Hashtbl.iter
+    (fun _ v ->
+      if not (contains ~eps t v.w) then
+        failwith
+          (Format.asprintf "Dd: vertex %d = %a violates a constraint" v.id
+             Vector.pp v.w);
+      let recomputed = compute_tight t v.w in
+      if recomputed <> v.tight then
+        failwith (Printf.sprintf "Dd: vertex %d has a stale tight set" v.id);
+      let m = Array.map (fun j -> t.normals.(j)) v.tight in
+      if Matrix.rank ~eps:1e-9 m < t.d then
+        failwith
+          (Printf.sprintf "Dd: vertex %d tight set has rank < d" v.id))
+    t.vertices

@@ -1,0 +1,88 @@
+(** Incremental vertex maintenance for polytopes [{ w >= 0 : a_j . w <= b_j }]
+    (the double-description method, Motzkin et al. / Fukuda–Prodon).
+
+    This is the dual-side engine behind the paper's GeoGreedy: by antiblocking
+    polarity, the faces of the primal hull [Conv(S)] that do not pass through
+    the origin are exactly the vertices of the dual polytope
+    [Q(S) = { w >= 0 : p . w <= 1, p in S }], and inserting a point into [S]
+    is adding one halfspace here. The paper's "remove the face crossed by the
+    ray, create the faces around the new point" (Section IV-A) is this
+    module's [add_constraint]: vertices cut by the new halfspace are removed
+    and new vertices appear on the new hyperplane.
+
+    The polytope starts as the box [[0, bound]^d] so that the vertex set is
+    well-defined before enough constraints arrive to bound the orthant
+    intersection. Callers must ensure the *final* polytope is genuinely
+    bounded away from the box (for the regret use-case: the selection
+    contains an i-th dimension boundary point with value 1 for every i, which
+    confines [Q] to [[0,1]^d]); until then, vertices lying on the artificial
+    box faces are reported like any others.
+
+    Every vertex carries the exact set of tight constraints; adjacency for
+    the DD step uses the algebraic rank-(d-1) test with a cardinality
+    prefilter. Complexity of one insertion is
+    [O(|cut| * |keep| * d^3 + |V| * m * d)] — the second term recomputes
+    tight sets of newly created vertices against all [m] constraints, which
+    keeps the structure robust under degeneracy. *)
+
+type t
+
+type vertex = {
+  id : int;  (** unique, never reused *)
+  w : Kregret_geom.Vector.t;  (** coordinates; do not mutate *)
+  tight : int array;  (** sorted indices of tight constraints *)
+}
+
+type event = {
+  removed : int list;  (** ids of vertices cut by the constraint *)
+  created : vertex list;  (** vertices born on the new hyperplane *)
+  touched : vertex list;
+      (** surviving vertices that lie exactly on the new hyperplane (their
+          tight sets were refreshed). Together with [created] they carry
+          every vertex of the optimum face for any direction whose old
+          champion was removed — the completeness fact behind GeoGreedy's
+          incremental re-assignment (see {!Dual_polytope}). *)
+  redundant : bool;  (** true when the constraint cut nothing *)
+}
+
+(** [create ~dim ~bound ()] is the box [[0, bound]^d] (default bound
+    [1e3]) with its [2^dim] corner vertices. Raises [Invalid_argument] for
+    [dim < 1] or [dim > 20]. *)
+val create : ?bound:float -> dim:int -> unit -> t
+
+(** [dim t] is the ambient dimension. *)
+val dim : t -> int
+
+(** [add_constraint t ~normal ~offset] intersects the polytope with
+    [normal . w <= offset] and reports the vertex-set delta. The normal may
+    be any vector; the regret use-case always passes a data point (normal
+    [>= 0], offset 1). *)
+val add_constraint :
+  t -> normal:Kregret_geom.Vector.t -> offset:float -> event
+
+(** [vertices t] is the current vertex list (unspecified order). *)
+val vertices : t -> vertex list
+
+(** [num_vertices t] is [List.length (vertices t)] without the allocation. *)
+val num_vertices : t -> int
+
+(** [num_constraints t] counts the constraints added so far (excluding the
+    implicit non-negativity and box constraints). *)
+val num_constraints : t -> int
+
+(** [max_dot t q] is the vertex maximizing [w . q] together with the value —
+    the dual form of the paper's ray-shooting query ([cr(q, S) =
+    offset-normalized 1 / max]). Raises [Invalid_argument] if the polytope
+    somehow has no vertices (cannot happen through this API). *)
+val max_dot : t -> Kregret_geom.Vector.t -> vertex * float
+
+(** [find_vertex t id] retrieves a live vertex by id. *)
+val find_vertex : t -> int -> vertex option
+
+(** [contains ~eps t w] tests membership of [w] in the current polytope. *)
+val contains : eps:float -> t -> Kregret_geom.Vector.t -> bool
+
+(** [check_invariants t] verifies internal consistency (every vertex
+    satisfies all constraints; tight sets are exact and of rank [d]); used by
+    the test suite. Raises [Failure] with a description on violation. *)
+val check_invariants : ?eps:float -> t -> unit

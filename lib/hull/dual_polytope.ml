@@ -1,0 +1,27 @@
+module Vector = Kregret_geom.Vector
+
+type t = { dd : Dd.t; mutable inserted : int }
+
+let create ?bound ~dim () = { dd = Dd.create ?bound ~dim (); inserted = 0 }
+
+let insert t p =
+  if not (Vector.is_nonneg ~eps:0. p) then
+    invalid_arg "Dual_polytope.insert: points must be non-negative";
+  t.inserted <- t.inserted + 1;
+  Dd.add_constraint t.dd ~normal:p ~offset:1.
+
+let champion t q = Dd.max_dot t.dd q
+
+let critical_ratio t q =
+  let _, m = champion t q in
+  if m <= 0. then infinity else 1. /. m
+
+let max_regret_ratio t ~data =
+  let worst =
+    List.fold_left (fun acc q -> Float.min acc (critical_ratio t q)) infinity data
+  in
+  Float.max 0. (1. -. worst)
+
+let num_vertices t = Dd.num_vertices t.dd
+let selection_size t = t.inserted
+let dd t = t.dd

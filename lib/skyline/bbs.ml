@@ -1,0 +1,53 @@
+module Vector = Kregret_geom.Vector
+
+type entry = Node of Rtree.node | Point of int
+
+(* a skyline member prunes anything whose upper corner it weakly dominates *)
+let covered sky_points corner =
+  List.exists
+    (fun s ->
+      match Dominance.compare s corner with
+      | Dominance.Dominates | Dominance.Equal -> true
+      | Dominance.Dominated | Dominance.Incomparable -> false)
+    sky_points
+
+let skyline (tree : Rtree.t) =
+  let heap = Pqueue.create () in
+  let push_node node =
+    let m = Rtree.mbr_of_node node in
+    Pqueue.push heap (-.Vector.sum m.Rtree.high) (Node node)
+  in
+  (match tree.Rtree.root with None -> () | Some r -> push_node r);
+  let sky = ref [] and sky_points = ref [] in
+  let rec drain () =
+    match Pqueue.pop heap with
+    | None -> ()
+    | Some (_, entry) ->
+        (match entry with
+        | Node node ->
+            let m = Rtree.mbr_of_node node in
+            if not (covered !sky_points m.Rtree.high) then begin
+              match node with
+              | Rtree.Leaf (_, idxs) ->
+                  Array.iter
+                    (fun i ->
+                      Pqueue.push heap
+                        (-.Vector.sum tree.Rtree.points.(i))
+                        (Point i))
+                    idxs
+              | Rtree.Inner (_, children) -> Array.iter push_node children
+            end
+        | Point i ->
+            let p = tree.Rtree.points.(i) in
+            if not (covered !sky_points p) then begin
+              sky := i :: !sky;
+              sky_points := p :: !sky_points
+            end);
+        drain ()
+  in
+  drain ();
+  let result = Array.of_list !sky in
+  Array.sort compare result;
+  result
+
+let of_points ?capacity points = skyline (Rtree.build ?capacity points)

@@ -1,0 +1,18 @@
+(** Branch-and-bound skyline (BBS) over an R-tree — Papadias, Tao, Fu &
+    Seeger (TODS 2005), the paper's reference [10].
+
+    Entries are expanded best-first by the coordinate sum of their MBR's
+    upper corner (for a max-skyline, larger is more promising), and an entry
+    is pruned when its upper corner is dominated by an already-confirmed
+    skyline point: no point inside can then be maximal. BBS is {e
+    progressive} — skyline points stream out in sum order — and touches only
+    the R-tree nodes whose regions can contain skyline points, which is why
+    it beats scan-based algorithms on large, low-skyline data. *)
+
+(** [skyline tree] computes the skyline of the indexed points, returning
+    ascending indices (same convention and same duplicate handling as
+    {!Skyline}). *)
+val skyline : Rtree.t -> int array
+
+(** [of_points ?capacity points] builds the R-tree and runs BBS. *)
+val of_points : ?capacity:int -> Kregret_geom.Vector.t array -> int array

@@ -1,0 +1,17 @@
+type relation = Dominates | Dominated | Equal | Incomparable
+
+let compare p q =
+  let d = Array.length p in
+  if Array.length q <> d then invalid_arg "Dominance.compare: dimension mismatch";
+  let p_wins = ref false and q_wins = ref false in
+  for i = 0 to d - 1 do
+    if p.(i) > q.(i) then p_wins := true
+    else if p.(i) < q.(i) then q_wins := true
+  done;
+  match (!p_wins, !q_wins) with
+  | true, false -> Dominates
+  | false, true -> Dominated
+  | false, false -> Equal
+  | true, true -> Incomparable
+
+let dominates q p = compare q p = Dominates

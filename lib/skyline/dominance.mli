@@ -1,0 +1,14 @@
+(** Pareto dominance (larger is better on every dimension). *)
+
+type relation =
+  | Dominates  (** first argument dominates the second *)
+  | Dominated  (** first argument is dominated by the second *)
+  | Equal  (** coordinate-wise equal *)
+  | Incomparable
+
+(** [dominates q p] — [q] is at least as large everywhere and strictly larger
+    somewhere. *)
+val dominates : Kregret_geom.Vector.t -> Kregret_geom.Vector.t -> bool
+
+(** [compare p q] classifies the pair in a single pass. *)
+val compare : Kregret_geom.Vector.t -> Kregret_geom.Vector.t -> relation

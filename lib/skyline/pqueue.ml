@@ -1,0 +1,71 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable values : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.; values = Array.make 16 None; size = 0 }
+
+let grow t =
+  if t.size = Array.length t.keys then begin
+    let cap = 2 * t.size in
+    let keys = Array.make cap 0. and values = Array.make cap None in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.values 0 values 0 t.size;
+    t.keys <- keys;
+    t.values <- values
+  end
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.values.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.values.(i) <- t.values.(j);
+  t.keys.(j) <- k;
+  t.values.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key v =
+  grow t;
+  t.keys.(t.size) <- key;
+  t.values.(t.size) <- Some v;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    match t.values.(0) with
+    | Some v -> Some (t.keys.(0), v)
+    | None -> assert false
+
+let pop t =
+  match peek t with
+  | None -> None
+  | Some binding ->
+      t.size <- t.size - 1;
+      t.keys.(0) <- t.keys.(t.size);
+      t.values.(0) <- t.values.(t.size);
+      t.values.(t.size) <- None;
+      sift_down t 0;
+      Some binding
+
+let length t = t.size
+let is_empty t = t.size = 0

@@ -1,0 +1,26 @@
+(** A minimal binary min-heap priority queue, keyed by [float].
+
+    Used by the branch-and-bound skyline ({!Bbs}) to expand R-tree entries in
+    best-first order. Imperative, amortized O(log n) push/pop. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [push t key v] inserts [v] with priority [key] (smallest key pops
+    first). *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-key binding, or [None] when
+    empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek t] is the minimum-key binding without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** [length t] is the number of queued elements. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool

@@ -1,0 +1,174 @@
+module Vector = Kregret_geom.Vector
+
+type mbr = { low : Vector.t; high : Vector.t }
+type node = Leaf of mbr * int array | Inner of mbr * node array
+type t = { root : node option; points : Vector.t array; capacity : int }
+
+let mbr_of_node = function Leaf (m, _) -> m | Inner (m, _) -> m
+
+let mbr_of_points points idxs =
+  let d = Vector.dim points.(idxs.(0)) in
+  let low = Array.make d infinity and high = Array.make d neg_infinity in
+  Array.iter
+    (fun i ->
+      let p = points.(i) in
+      for j = 0 to d - 1 do
+        if p.(j) < low.(j) then low.(j) <- p.(j);
+        if p.(j) > high.(j) then high.(j) <- p.(j)
+      done)
+    idxs;
+  { low; high }
+
+let mbr_union ms =
+  let d = Vector.dim ms.(0).low in
+  let low = Array.make d infinity and high = Array.make d neg_infinity in
+  Array.iter
+    (fun m ->
+      for j = 0 to d - 1 do
+        if m.low.(j) < low.(j) then low.(j) <- m.low.(j);
+        if m.high.(j) > high.(j) then high.(j) <- m.high.(j)
+      done)
+    ms;
+  { low; high }
+
+let mbr_contains m p =
+  let ok = ref true in
+  for j = 0 to Vector.dim p - 1 do
+    if p.(j) < m.low.(j) -. 1e-12 || p.(j) > m.high.(j) +. 1e-12 then ok := false
+  done;
+  !ok
+
+let mbr_covers outer inner =
+  let ok = ref true in
+  for j = 0 to Vector.dim outer.low - 1 do
+    if
+      inner.low.(j) < outer.low.(j) -. 1e-12
+      || inner.high.(j) > outer.high.(j) +. 1e-12
+    then ok := false
+  done;
+  !ok
+
+let mbr_intersects m ~low ~high =
+  let ok = ref true in
+  for j = 0 to Vector.dim low - 1 do
+    if m.high.(j) < low.(j) || m.low.(j) > high.(j) then ok := false
+  done;
+  !ok
+
+(* Sort-Tile-Recursive packing: slice along successive dimensions so that
+   every leaf holds at most [capacity] spatially clustered points. *)
+let pack_leaves ~capacity points =
+  let d = if Array.length points = 0 then 0 else Vector.dim points.(0) in
+  let leaves = ref [] in
+  let rec pack idxs dim =
+    let n = Array.length idxs in
+    if n <= capacity then leaves := idxs :: !leaves
+    else begin
+      let remaining_dims = max 1 (d - dim) in
+      let target_leaves = (n + capacity - 1) / capacity in
+      let slabs =
+        max 2
+          (int_of_float
+             (Float.round
+                (Float.pow (float_of_int target_leaves)
+                   (1. /. float_of_int remaining_dims))))
+      in
+      let sorted = Array.copy idxs in
+      Array.sort
+        (fun a b -> compare points.(a).(dim) points.(b).(dim))
+        sorted;
+      let per_slab = (n + slabs - 1) / slabs in
+      let next_dim = if dim + 1 >= d then d - 1 else dim + 1 in
+      let start = ref 0 in
+      while !start < n do
+        let len = min per_slab (n - !start) in
+        pack (Array.sub sorted !start len) next_dim;
+        start := !start + len
+      done
+    end
+  in
+  if Array.length points > 0 then pack (Array.init (Array.length points) Fun.id) 0;
+  List.rev !leaves
+
+let build ?(capacity = 32) points =
+  if capacity < 2 then invalid_arg "Rtree.build: capacity must be >= 2";
+  if Array.length points = 0 then { root = None; points; capacity }
+  else begin
+    let leaf_chunks = pack_leaves ~capacity points in
+    let level =
+      ref
+        (List.map
+           (fun idxs -> Leaf (mbr_of_points points idxs, idxs))
+           leaf_chunks)
+    in
+    while List.length !level > 1 do
+      let nodes = Array.of_list !level in
+      let groups = ref [] in
+      let start = ref 0 in
+      while !start < Array.length nodes do
+        let len = min capacity (Array.length nodes - !start) in
+        let children = Array.sub nodes !start len in
+        let m = mbr_union (Array.map mbr_of_node children) in
+        groups := Inner (m, children) :: !groups;
+        start := !start + len
+      done;
+      level := List.rev !groups
+    done;
+    match !level with
+    | [ root ] -> { root = Some root; points; capacity }
+    | _ -> assert false
+  end
+
+let size t = Array.length t.points
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Inner (_, children) -> 1 + go children.(0)
+  in
+  match t.root with None -> 0 | Some r -> go r
+
+let range t ~low ~high =
+  let out = ref [] in
+  let rec go = function
+    | Leaf (m, idxs) ->
+        if mbr_intersects m ~low ~high then
+          Array.iter
+            (fun i ->
+              let p = t.points.(i) in
+              let inside = ref true in
+              for j = 0 to Vector.dim p - 1 do
+                if p.(j) < low.(j) || p.(j) > high.(j) then inside := false
+              done;
+              if !inside then out := i :: !out)
+            idxs
+    | Inner (m, children) ->
+        if mbr_intersects m ~low ~high then Array.iter go children
+  in
+  (match t.root with None -> () | Some r -> go r);
+  List.rev !out
+
+let check_invariants t =
+  let seen = Array.make (size t) 0 in
+  let rec go = function
+    | Leaf (m, idxs) ->
+        Array.iter
+          (fun i ->
+            seen.(i) <- seen.(i) + 1;
+            if not (mbr_contains m t.points.(i)) then
+              failwith (Printf.sprintf "Rtree: point %d outside its leaf MBR" i))
+          idxs
+    | Inner (m, children) ->
+        Array.iter
+          (fun child ->
+            if not (mbr_covers m (mbr_of_node child)) then
+              failwith "Rtree: child MBR not covered by parent";
+            go child)
+          children
+  in
+  (match t.root with None -> () | Some r -> go r);
+  Array.iteri
+    (fun i c ->
+      if c <> 1 then
+        failwith (Printf.sprintf "Rtree: point %d appears %d times" i c))
+    seen

@@ -1,0 +1,44 @@
+(** A bulk-loaded R-tree over d-dimensional points.
+
+    The index behind the progressive branch-and-bound skyline ({!Bbs},
+    Papadias et al., TODS 2005 — the paper's reference [10] for skyline
+    computation). Built once with Sort-Tile-Recursive packing (Leutenegger
+    et al., ICDE 1997); no dynamic insertion, which the skyline use-case
+    never needs. *)
+
+type mbr = {
+  low : Kregret_geom.Vector.t;  (** coordinate-wise minima *)
+  high : Kregret_geom.Vector.t;  (** coordinate-wise maxima *)
+}
+
+type node =
+  | Leaf of mbr * int array  (** point indices into the build array *)
+  | Inner of mbr * node array
+
+type t = {
+  root : node option;  (** [None] for an empty tree *)
+  points : Kregret_geom.Vector.t array;  (** the indexed points, by index *)
+  capacity : int;
+}
+
+(** [build ?capacity points] packs the points into an R-tree (fan-out
+    [capacity], default 32; minimum 2). *)
+val build : ?capacity:int -> Kregret_geom.Vector.t array -> t
+
+(** [mbr_of_node n] is the bounding rectangle of a node. *)
+val mbr_of_node : node -> mbr
+
+(** [range t ~low ~high] returns the indices of all points [p] with
+    [low <= p <= high] coordinate-wise. *)
+val range : t -> low:Kregret_geom.Vector.t -> high:Kregret_geom.Vector.t -> int list
+
+(** [size t] is the number of indexed points. *)
+val size : t -> int
+
+(** [height t] is the number of levels (0 for an empty tree). *)
+val height : t -> int
+
+(** [check_invariants t] verifies MBR containment (every child MBR / point
+    inside its parent's MBR) and that every input point appears in exactly
+    one leaf. Raises [Failure] on violation; used by the tests. *)
+val check_invariants : t -> unit

@@ -1,0 +1,81 @@
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+
+let naive points =
+  let n = Array.length points in
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    let p = points.(i) in
+    let excluded = ref false in
+    (* dominated by anyone, or duplicated by an earlier point *)
+    for j = 0 to n - 1 do
+      if (not !excluded) && j <> i then
+        match Dominance.compare points.(j) p with
+        | Dominance.Dominates -> excluded := true
+        | Dominance.Equal when j < i -> excluded := true
+        | Dominance.Equal | Dominance.Dominated | Dominance.Incomparable -> ()
+    done;
+    if not !excluded then keep := i :: !keep
+  done;
+  Array.of_list !keep
+
+let bnl points =
+  let window = ref [] in
+  Array.iteri
+    (fun i p ->
+      let survives = ref true in
+      let kept =
+        List.filter
+          (fun j ->
+            if !survives then
+              match Dominance.compare points.(j) p with
+              | Dominance.Dominates | Dominance.Equal ->
+                  survives := false;
+                  true
+              | Dominance.Dominated -> false
+              | Dominance.Incomparable -> true
+            else true)
+          !window
+      in
+      window := if !survives then i :: kept else kept)
+    points;
+  let result = Array.of_list !window in
+  Array.sort compare result;
+  result
+
+let sfs points =
+  let n = Array.length points in
+  let order = Array.init n Fun.id in
+  let score = Array.map Vector.sum points in
+  Array.sort (fun i j -> compare score.(j) score.(i)) order;
+  (* a point later in this order can never dominate an earlier one, so the
+     window only grows *)
+  let window = ref [] in
+  Array.iter
+    (fun i ->
+      let p = points.(i) in
+      let excluded =
+        List.exists
+          (fun j ->
+            match Dominance.compare points.(j) p with
+            | Dominance.Dominates | Dominance.Equal -> true
+            | Dominance.Dominated | Dominance.Incomparable -> false)
+          !window
+      in
+      if not excluded then window := i :: !window)
+    order;
+  let result = Array.of_list !window in
+  Array.sort compare result;
+  result
+
+let of_dataset ?(algorithm = `Sfs) ds =
+  let f =
+    match algorithm with
+    | `Naive -> naive
+    | `Bnl -> bnl
+    | `Sfs -> sfs
+    | `Bbs -> Bbs.of_points ?capacity:None
+  in
+  let indices = f ds.Dataset.points in
+  let sub = Dataset.sub ds ~indices in
+  { sub with Dataset.name = ds.Dataset.name ^ "/sky" }

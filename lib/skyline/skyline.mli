@@ -1,0 +1,32 @@
+(** Skyline (maxima) computation — the paper's preprocessing substrate.
+
+    Every k-regret algorithm in the paper runs on a candidate set that is
+    either [D_sky] (prior work) or [D_happy] (the paper's contribution,
+    itself a subset of the skyline). Three implementations are provided:
+
+    - [naive]: quadratic all-pairs reference, used by the tests;
+    - [bnl]: block-nested-loops (Börzsönyi et al., ICDE 2001);
+    - [sfs]: sort-filter-skyline (Chomicki et al.) — sorts by decreasing
+      coordinate sum so a scanned point can never dominate an earlier one;
+      this is the default for the benches;
+    - [`Bbs] (via {!Bbs}): progressive branch-and-bound over an R-tree
+      (Papadias et al., TODS 2005 — the paper's reference [10]).
+
+    Duplicate maximal points are represented once (first occurrence by input
+    order for [naive]/[bnl]; first by sort order for [sfs]). All functions
+    return ascending indices into the input array. *)
+
+(** [naive points] — O(n^2 d) all-pairs reference. *)
+val naive : Kregret_geom.Vector.t array -> int array
+
+(** [bnl points] — block-nested-loops with an in-memory window. *)
+val bnl : Kregret_geom.Vector.t array -> int array
+
+(** [sfs points] — sort-filter-skyline. *)
+val sfs : Kregret_geom.Vector.t array -> int array
+
+(** [of_dataset ?algorithm ds] applies the chosen algorithm (default [`Sfs])
+    and returns the skyline as a dataset named ["<name>/sky"]. *)
+val of_dataset :
+  ?algorithm:[ `Naive | `Bnl | `Sfs | `Bbs ] -> Kregret_dataset.Dataset.t ->
+  Kregret_dataset.Dataset.t

@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end exercises of the kregret CLI. Invoked by dune (see ./dune) with
+# the built executable as $1; runs in a sandbox directory, so file litter is
+# confined. Any failed assertion aborts with a non-zero exit.
+set -eu
+
+KREGRET=$1
+say() { echo "cli-test: $*"; }
+fail() { echo "cli-test FAILURE: $*" >&2; exit 1; }
+
+expect() { # expect <substring> <file>
+  grep -q "$1" "$2" || fail "expected '$1' in $2: $(cat "$2")"
+}
+
+# --- gen + stats ------------------------------------------------------------
+"$KREGRET" gen --dist nba -n 800 --seed 7 -o data.csv > out.txt
+expect "wrote nba" out.txt
+test -f data.csv || fail "gen did not write data.csv"
+
+"$KREGRET" stats data.csv --summary > out.txt
+expect "mean pairwise correlation" out.txt
+expect "|Dsky|=" out.txt
+expect "|Dhappy|=" out.txt
+
+# --- query on a file vs the same synthetic spec ------------------------------
+"$KREGRET" query data.csv -k 6 -a geogreedy -c happy > geo.txt
+expect "maximum regret ratio" geo.txt
+"$KREGRET" query data.csv -k 6 -a greedy -c happy > lp.txt
+geo_mrr=$(sed -n 's/^maximum regret ratio = //p' geo.txt)
+lp_mrr=$(sed -n 's/^maximum regret ratio = //p' lp.txt)
+[ "$geo_mrr" = "$lp_mrr" ] || fail "geogreedy ($geo_mrr) != greedy ($lp_mrr)"
+
+# hybrid mode must agree as well
+"$KREGRET" query data.csv -k 6 -a geogreedy -c happy --vertex-cap 1 > hybrid.txt
+hybrid_mrr=$(sed -n 's/^maximum regret ratio = //p' hybrid.txt)
+[ "$geo_mrr" = "$hybrid_mrr" ] || fail "hybrid ($hybrid_mrr) != pure ($geo_mrr)"
+
+# --- sweep CSV ----------------------------------------------------------------
+"$KREGRET" sweep data.csv --ks 4,6 -o sweep.csv > /dev/null
+expect "k,mrr,query_seconds" sweep.csv
+n_rows=$(grep -c '^[0-9]' sweep.csv)
+[ "$n_rows" = "2" ] || fail "sweep should have 2 data rows, got $n_rows"
+
+# --- materialize + query-list round trip --------------------------------------
+"$KREGRET" materialize data.csv -o stored.list > out.txt
+expect "materialized" out.txt
+"$KREGRET" query-list stored.list --data data.csv -k 6 > out.txt
+expect "StoredList query k=6" out.txt
+list_mrr=$(sed -n 's/.*mrr=\([0-9.]*\).*/\1/p' out.txt)
+[ "$list_mrr" = "$geo_mrr" ] || fail "stored list mrr ($list_mrr) != geogreedy ($geo_mrr)"
+
+# a mismatched dataset must be rejected
+"$KREGRET" gen --dist nba -n 800 --seed 8 -o other.csv > /dev/null
+if "$KREGRET" query-list stored.list --data other.csv -k 6 > out.txt 2>&1; then
+  fail "query-list accepted a mismatched dataset"
+fi
+
+# --- validate ------------------------------------------------------------------
+"$KREGRET" validate data.csv -k 6 > out.txt
+expect "consistency: OK" out.txt
+
+# --- error handling --------------------------------------------------------------
+if "$KREGRET" query --dist no_such_distribution -n 10 -k 2 > out.txt 2>&1; then
+  fail "unknown distribution accepted"
+fi
+
+say "all CLI checks passed"

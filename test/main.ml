@@ -1,0 +1,28 @@
+(* Property tests draw from QCheck's global RNG; pin it for reproducible CI
+   runs unless the caller explicitly overrides the seed. *)
+let () =
+  if Sys.getenv_opt "QCHECK_SEED" = None then Unix.putenv "QCHECK_SEED" "20140331"
+
+let () =
+  Alcotest.run "kregret"
+    [
+      ("vector", Test_vector.suite);
+      ("matrix", Test_matrix.suite);
+      ("geom", Test_geom.suite);
+      ("simplex", Test_simplex.suite);
+      ("regret-lp", Test_regret_lp.suite);
+      ("hull", Test_hull.suite);
+      ("primal-hull", Test_primal_hull.suite);
+      ("dd-stress", Test_dd_stress.suite);
+      ("mrr", Test_mrr.suite);
+      ("dataset", Test_dataset.suite);
+      ("skyline", Test_skyline.suite);
+      ("rtree-bbs", Test_rtree.suite);
+      ("happy", Test_happy.suite);
+      ("regret", Test_regret.suite);
+      ("extensions", Test_extensions.suite);
+      ("optimality", Test_optimality.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("stats-validation", Test_stats.suite);
+      ("optimal2d", Test_optimal2d.suite);
+    ]

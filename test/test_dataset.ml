@@ -1,0 +1,162 @@
+open Testutil
+module Rng = Kregret_dataset.Rng
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Csv_io = Kregret_dataset.Csv_io
+module Skyline = Kregret_skyline.Skyline
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check int) "decorrelated" 0 !same
+
+let test_rng_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. and sq = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.gaussian r ~mu:2. ~sigma:0.5 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check_float ~eps:0.05 "mean" 2. mean;
+  check_float ~eps:0.05 "variance" 0.25 var
+
+let test_rng_split () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check int) "split streams decorrelated" 0 !same
+
+let test_normalize () =
+  let raw =
+    Dataset.create ~name:"raw" [| [| 2.; 10. |]; [| 4.; 5. |]; [| 1.; 0. |] |]
+  in
+  let n = Dataset.normalize raw in
+  Alcotest.(check bool) "normalized" true (Dataset.is_normalized ~eps:1e-9 n);
+  Alcotest.check vector "first point" [| 0.5; 1. |] n.Dataset.points.(0);
+  check_float "zero floored" 1e-6 n.Dataset.points.(2).(1)
+
+let test_normalize_rejects () =
+  let raw = Dataset.create ~name:"raw" [| [| 0.; 1. |]; [| 0.; 2. |] |] in
+  Alcotest.check_raises "zero column"
+    (Invalid_argument "Dataset.normalize: dimension 0 is identically zero")
+    (fun () -> ignore (Dataset.normalize raw));
+  let neg = Dataset.create ~name:"neg" [| [| -1.; 1. |] |] in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dataset.normalize: negative value") (fun () ->
+      ignore (Dataset.normalize neg))
+
+let test_boundary_point () =
+  let ds =
+    Dataset.create ~name:"b" [| [| 1.; 0.2 |]; [| 0.5; 0.9 |]; [| 0.2; 1. |] |]
+  in
+  Alcotest.(check int) "dim 0" 0 (Dataset.boundary_point ds 0);
+  Alcotest.(check int) "dim 1" 2 (Dataset.boundary_point ds 1)
+
+let test_generators_normalized () =
+  let check name make =
+    let ds = make () in
+    Alcotest.(check bool)
+      (name ^ " normalized") true
+      (Dataset.is_normalized ~eps:1e-9 ds)
+  in
+  check "independent" (fun () -> Generator.independent (Rng.create 1) ~n:500 ~d:4);
+  check "correlated" (fun () -> Generator.correlated (Rng.create 2) ~n:500 ~d:4);
+  check "anti" (fun () -> Generator.anti_correlated (Rng.create 3) ~n:500 ~d:4);
+  check "household" (fun () -> Generator.household_like (Rng.create 4) ~n:500);
+  check "nba" (fun () -> Generator.nba_like (Rng.create 5) ~n:500);
+  check "color" (fun () -> Generator.color_like (Rng.create 6) ~n:500);
+  check "stocks" (fun () -> Generator.stocks_like (Rng.create 7) ~n:500)
+
+let test_generator_determinism () =
+  let a = Generator.anti_correlated (Rng.create 42) ~n:50 ~d:3 in
+  let b = Generator.anti_correlated (Rng.create 42) ~n:50 ~d:3 in
+  Array.iteri
+    (fun i p -> Alcotest.check vector "same point" p b.Dataset.points.(i))
+    a.Dataset.points
+
+let test_correlation_shapes () =
+  (* anti-correlated data must have a much larger skyline than correlated *)
+  let n = 2000 and d = 4 in
+  let corr = Generator.correlated (Rng.create 9) ~n ~d in
+  let anti = Generator.anti_correlated (Rng.create 9) ~n ~d in
+  let s_corr = Array.length (Skyline.sfs corr.Dataset.points) in
+  let s_anti = Array.length (Skyline.sfs anti.Dataset.points) in
+  Alcotest.(check bool)
+    (Printf.sprintf "skyline sizes: corr=%d < anti=%d" s_corr s_anti)
+    true
+    (s_corr * 4 < s_anti)
+
+let test_csv_roundtrip () =
+  let ds = Generator.independent (Rng.create 13) ~n:40 ~d:5 in
+  let path = Filename.temp_file "kregret" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv_io.save path ds;
+      let back = Csv_io.load path in
+      Alcotest.(check string) "name from header" "independent" back.Dataset.name;
+      Alcotest.(check int) "size" (Dataset.size ds) (Dataset.size back);
+      Array.iteri
+        (fun i p -> Alcotest.check vector "point" p back.Dataset.points.(i))
+        ds.Dataset.points)
+
+let test_csv_malformed () =
+  let path = Filename.temp_file "kregret" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "0.5,0.5\n0.5,oops\n";
+      close_out oc;
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Csv_io.load path);
+           false
+         with Failure _ -> true))
+
+let test_sub () =
+  let ds = Generator.independent (Rng.create 21) ~n:10 ~d:3 in
+  let sub = Dataset.sub ds ~indices:[| 2; 5 |] in
+  Alcotest.(check int) "size" 2 (Dataset.size sub);
+  Alcotest.check vector "first" ds.Dataset.points.(2) sub.Dataset.points.(0)
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng: float range" `Quick test_rng_float_range;
+    Alcotest.test_case "rng: gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng: split" `Quick test_rng_split;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "normalize rejections" `Quick test_normalize_rejects;
+    Alcotest.test_case "boundary point" `Quick test_boundary_point;
+    Alcotest.test_case "generators normalized" `Quick test_generators_normalized;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Alcotest.test_case "correlation shapes" `Quick test_correlation_shapes;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+    Alcotest.test_case "dataset sub" `Quick test_sub;
+  ]

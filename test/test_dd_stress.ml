@@ -1,0 +1,180 @@
+(* Stress and consistency tests for the double-description engine: the
+   incremental structure must agree with a from-scratch rebuild and with the
+   LP oracle across dimensions, insertion orders, and degeneracies. *)
+
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dd = Kregret_hull.Dd
+module Dual_polytope = Kregret_hull.Dual_polytope
+module Regret_lp = Kregret_lp.Regret_lp
+
+let build_dd ~bound ~dim constraints =
+  let t = Dd.create ~bound ~dim () in
+  List.iter (fun (normal, offset) -> ignore (Dd.add_constraint t ~normal ~offset)) constraints;
+  t
+
+let vertex_set t =
+  List.sort compare
+    (List.map (fun v -> Array.to_list v.Dd.w) (Dd.vertices t))
+
+let approx_same_sets a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun u v -> List.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) u v)
+       a b
+
+let test_order_independence () =
+  let st = test_rng 71 in
+  for _trial = 1 to 8 do
+    let d = 2 + Random.State.int st 3 in
+    let cons =
+      List.map (fun p -> (p, 1.)) (random_points st ~n:12 ~d)
+    in
+    let shuffled =
+      List.map snd
+        (List.sort compare
+           (List.map (fun c -> (Random.State.float st 1., c)) cons))
+    in
+    let a = build_dd ~bound:2. ~dim:d cons in
+    let b = build_dd ~bound:2. ~dim:d shuffled in
+    Dd.check_invariants a;
+    Dd.check_invariants b;
+    Alcotest.(check bool)
+      (Printf.sprintf "same vertex set regardless of order (d=%d)" d)
+      true
+      (approx_same_sets (vertex_set a) (vertex_set b))
+  done
+
+let test_event_bookkeeping () =
+  (* the event stream must account exactly for the vertex-set delta *)
+  let st = test_rng 72 in
+  let t = Dd.create ~bound:2. ~dim:3 () in
+  List.iter
+    (fun p ->
+      let before =
+        List.sort compare (List.map (fun v -> v.Dd.id) (Dd.vertices t))
+      in
+      let ev = Dd.add_constraint t ~normal:p ~offset:1. in
+      let after =
+        List.sort compare (List.map (fun v -> v.Dd.id) (Dd.vertices t))
+      in
+      let expected =
+        List.sort compare
+          (List.map (fun v -> v.Dd.id) ev.Dd.created
+          @ List.filter (fun id -> not (List.mem id ev.Dd.removed)) before)
+      in
+      Alcotest.(check (list int)) "delta accounts for vertex set" expected after;
+      (* removed ids must be gone, created ids must be live *)
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) "removed is gone" true (Dd.find_vertex t id = None))
+        ev.Dd.removed;
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "created is live" true
+            (Dd.find_vertex t v.Dd.id <> None))
+        ev.Dd.created)
+    (random_points st ~n:20 ~d:3)
+
+let test_contains_vs_constraints () =
+  let st = test_rng 73 in
+  let cons = List.map (fun p -> (p, 1.)) (random_points st ~n:10 ~d:3) in
+  let t = build_dd ~bound:2. ~dim:3 cons in
+  for _ = 1 to 200 do
+    let w = Array.init 3 (fun _ -> Random.State.float st 1.5) in
+    let manual =
+      Vector.is_nonneg ~eps:1e-9 w
+      && List.for_all (fun (a, b) -> Vector.dot a w <= b +. 1e-7) cons
+      && Array.for_all (fun x -> x <= 2. +. 1e-7) w
+    in
+    Alcotest.(check bool) "contains agrees with direct check" manual
+      (Dd.contains ~eps:1e-7 t w)
+  done
+
+let test_support_vs_lp_dim_sweep () =
+  let st = test_rng 74 in
+  List.iter
+    (fun d ->
+      let boundary =
+        List.init d (fun i ->
+            Array.init d (fun j ->
+                if i = j then 1. else 0.1 +. (0.6 *. Random.State.float st 1.)))
+      in
+      let selected = boundary @ random_points st ~n:8 ~d in
+      let dp = Dual_polytope.create ~dim:d () in
+      List.iter (fun p -> ignore (Dual_polytope.insert dp p)) selected;
+      for _ = 1 to 5 do
+        let q = random_point st d in
+        let geo = Dual_polytope.critical_ratio dp q in
+        let lp, _ = Regret_lp.critical_ratio ~selected q in
+        check_float ~eps:1e-6 (Printf.sprintf "cr d=%d" d) lp geo
+      done)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_redundant_insertions_stable () =
+  let st = test_rng 75 in
+  let base = random_points st ~n:8 ~d:3 in
+  let t = build_dd ~bound:2. ~dim:3 (List.map (fun p -> (p, 1.)) base) in
+  let before = vertex_set t in
+  (* re-adding every constraint is a no-op *)
+  List.iter
+    (fun p ->
+      let ev = Dd.add_constraint t ~normal:p ~offset:1. in
+      Alcotest.(check bool) "redundant" true ev.Dd.redundant)
+    base;
+  Alcotest.(check bool) "vertex set unchanged" true
+    (approx_same_sets before (vertex_set t));
+  Dd.check_invariants t
+
+let test_shrinking_nested_constraints () =
+  (* a sequence of parallel constraints with decreasing offsets: each one
+     cuts, the polytope shrinks monotonically *)
+  let t = Dd.create ~bound:1. ~dim:2 () in
+  let count = ref (Dd.num_vertices t) in
+  List.iter
+    (fun offset ->
+      let ev = Dd.add_constraint t ~normal:[| 1.; 1. |] ~offset in
+      Alcotest.(check bool) "cuts" false ev.Dd.redundant;
+      Dd.check_invariants t;
+      count := Dd.num_vertices t)
+    [ 1.8; 1.4; 1.0; 0.6; 0.2 ];
+  (* final region is a small triangle *)
+  Alcotest.(check int) "triangle" 3 !count
+
+let test_num_constraints_accounting () =
+  let t = Dd.create ~bound:1. ~dim:4 () in
+  Alcotest.(check int) "zero user constraints" 0 (Dd.num_constraints t);
+  ignore (Dd.add_constraint t ~normal:[| 1.; 1.; 1.; 1. |] ~offset:2.);
+  ignore (Dd.add_constraint t ~normal:[| 1.; 0.; 0.; 0. |] ~offset:0.5);
+  Alcotest.(check int) "two" 2 (Dd.num_constraints t);
+  Alcotest.(check int) "dim" 4 (Dd.dim t)
+
+let suite =
+  [
+    Alcotest.test_case "insertion-order independence" `Quick test_order_independence;
+    Alcotest.test_case "event bookkeeping" `Quick test_event_bookkeeping;
+    Alcotest.test_case "contains vs direct check" `Quick test_contains_vs_constraints;
+    Alcotest.test_case "cr vs LP across d=2..7" `Quick test_support_vs_lp_dim_sweep;
+    Alcotest.test_case "redundant insertions stable" `Quick test_redundant_insertions_stable;
+    Alcotest.test_case "nested shrinking constraints" `Quick test_shrinking_nested_constraints;
+    Alcotest.test_case "constraint accounting" `Quick test_num_constraints_accounting;
+    qcheck_case ~count:30 "random cuts keep invariants (d=4)"
+      (qc_points ~n:15 ~d:4)
+      (fun pts ->
+        let t = build_dd ~bound:2. ~dim:4 (List.map (fun p -> (p, 1.)) pts) in
+        Dd.check_invariants t;
+        true);
+    qcheck_case ~count:30 "support function is monotone under cuts"
+      QCheck.(pair (qc_points ~n:10 ~d:3) (qc_point 3))
+      (fun (pts, q) ->
+        let t = Dd.create ~bound:2. ~dim:3 () in
+        let prev = ref infinity in
+        List.for_all
+          (fun p ->
+            ignore (Dd.add_constraint t ~normal:p ~offset:1.);
+            let _, m = Dd.max_dot t q in
+            let ok = m <= !prev +. 1e-9 in
+            prev := m;
+            ok)
+          pts);
+  ]

@@ -1,0 +1,170 @@
+(* Degenerate and adversarial inputs across the whole stack. *)
+
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Csv_io = Kregret_dataset.Csv_io
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Dd = Kregret_hull.Dd
+module Dual_polytope = Kregret_hull.Dual_polytope
+module Geo_greedy = Kregret.Geo_greedy
+module Greedy_lp = Kregret.Greedy_lp
+module Stored_list = Kregret.Stored_list
+module Cube = Kregret.Cube
+module Mrr = Kregret.Mrr
+
+let test_single_point_everything () =
+  let points = [| [| 1.; 1.; 1. |] |] in
+  let geo = Geo_greedy.run ~points ~k:5 () in
+  Alcotest.(check (list int)) "geo selects it" [ 0 ] geo.Geo_greedy.order;
+  check_float "mrr 0" 0. geo.Geo_greedy.mrr;
+  let lp = Greedy_lp.run ~points ~k:5 () in
+  Alcotest.(check (list int)) "lp selects it" [ 0 ] lp.Greedy_lp.order;
+  let sl = Stored_list.preprocess points in
+  Alcotest.(check (list int)) "stored list" [ 0 ] (Stored_list.query sl ~k:3)
+
+let test_identical_points () =
+  let p = [| 0.7; 1.0 |] in
+  let points = [| Vector.copy p; Vector.copy p; Vector.copy p; [| 1.0; 0.3 |] |] in
+  let geo = Geo_greedy.run ~points ~k:4 () in
+  check_float "mrr 0 with duplicates" 0. geo.Geo_greedy.mrr;
+  (* skyline keeps one copy of the duplicated maximal point *)
+  Alcotest.(check int) "skyline size" 2 (Array.length (Skyline.sfs points))
+
+let test_collinear_points () =
+  (* all candidates on one segment: only the endpoints matter *)
+  let points =
+    Array.init 9 (fun i ->
+        let t = float_of_int i /. 8. in
+        [| 1. -. (0.9 *. t); 0.1 +. (0.9 *. t) |])
+  in
+  let geo = Geo_greedy.run ~points ~k:9 () in
+  check_float "mrr 0" 0. geo.Geo_greedy.mrr;
+  Alcotest.(check bool) "only endpoints selected" true
+    (List.length geo.Geo_greedy.order <= 3)
+
+let test_k_equals_one () =
+  let points = [| [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.9; 0.9 |] |] in
+  let geo = Geo_greedy.run ~points ~k:1 () in
+  Alcotest.(check int) "one point" 1 (List.length geo.Geo_greedy.order);
+  Alcotest.(check bool) "regret positive (k < d)" true (geo.Geo_greedy.mrr > 0.)
+
+let test_invalid_inputs () =
+  Alcotest.check_raises "empty geo"
+    (Invalid_argument "Geo_greedy.run: empty candidate set") (fun () ->
+      ignore (Geo_greedy.run ~points:[||] ~k:3 ()));
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Geo_greedy.run: k must be positive") (fun () ->
+      ignore (Geo_greedy.run ~points:[| [| 1.; 1. |] |] ~k:0 ()));
+  Alcotest.check_raises "cube empty"
+    (Invalid_argument "Cube.run: empty candidate set") (fun () ->
+      ignore (Cube.run ~points:[||] ~k:3 ()));
+  Alcotest.check_raises "dataset empty" (Invalid_argument "Dataset.create: empty")
+    (fun () -> ignore (Dataset.create ~name:"x" [||]));
+  Alcotest.check_raises "mixed dims"
+    (Invalid_argument "Dataset.create: mixed dimensions") (fun () ->
+      ignore (Dataset.create ~name:"x" [| [| 1. |]; [| 1.; 2. |] |]))
+
+let test_high_dimension_dd () =
+  (* d = 9 (the color dataset's dimensionality): exercise the DD machinery
+     where orthotope corner counts (2^9) would start to hurt a primal
+     implementation *)
+  let st = test_rng 909 in
+  let d = 9 in
+  let boundary =
+    List.init d (fun i ->
+        Array.init d (fun j -> if i = j then 1. else 0.3 +. (0.4 *. Random.State.float st 1.)))
+  in
+  let extra = random_points st ~n:6 ~d in
+  let dp = Dual_polytope.create ~dim:d () in
+  List.iter (fun p -> ignore (Dual_polytope.insert dp p)) (boundary @ extra);
+  Dd.check_invariants (Dual_polytope.dd dp);
+  let q = random_point st d in
+  let geometric = Dual_polytope.critical_ratio dp q in
+  let lp, _ =
+    Kregret_lp.Regret_lp.critical_ratio ~selected:(boundary @ extra) q
+  in
+  check_float ~eps:1e-6 "d=9 cr agreement" lp geometric
+
+let test_tiny_coordinates () =
+  (* values at the normalization floor stress the epsilon policy *)
+  let points =
+    [| [| 1.; 1e-6 |]; [| 1e-6; 1. |]; [| 0.5; 0.5 |] |]
+  in
+  let geo = Geo_greedy.run ~points ~k:3 () in
+  let lp = Greedy_lp.run ~points ~k:3 () in
+  check_float ~eps:1e-6 "tiny coords: geo = lp" lp.Greedy_lp.mrr geo.Geo_greedy.mrr
+
+let test_near_duplicate_jitter () =
+  (* clusters of near-identical points: champion reassignment must not lose
+     track under merging of near-coincident dual vertices *)
+  let st = test_rng 31337 in
+  let base = random_points st ~n:6 ~d:3 in
+  let jitter p =
+    Array.map (fun x -> Float.min 1. (x +. (1e-9 *. Random.State.float st 1.))) p
+  in
+  let points =
+    Array.of_list
+      ((Dataset.normalize
+          (Dataset.create ~name:"jit"
+             (Array.of_list (base @ List.map jitter base @ List.map jitter base))))
+         .Dataset.points
+      |> Array.to_list)
+  in
+  let geo = Geo_greedy.run ~points ~k:6 () in
+  let lp = Greedy_lp.run ~points ~k:6 () in
+  check_float ~eps:1e-5 "jitter: geo = lp" lp.Greedy_lp.mrr geo.Geo_greedy.mrr
+
+let test_csv_empty_file () =
+  let path = Filename.temp_file "kregret" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) "empty file rejected" true
+        (try
+           ignore (Csv_io.load path);
+           false
+         with Invalid_argument _ -> true))
+
+let test_happy_all_on_simplex () =
+  (* all points on the simplex boundary sum = 1: nobody subjugates anybody
+     (everyone is 'on' the only hyperplane) *)
+  let points =
+    Array.init 5 (fun i ->
+        let t = 0.1 +. (0.8 *. float_of_int i /. 4.) in
+        [| t; 1. -. t |])
+  in
+  Alcotest.(check int) "all happy" 5 (Array.length (Happy.happy_points points))
+
+let test_cube_budget_edge () =
+  (* k exactly d: no room for grid cells beyond the seeds *)
+  let st = test_rng 55 in
+  let points =
+    (Dataset.normalize
+       (Dataset.create ~name:"c" (Array.of_list (random_points st ~n:30 ~d:3))))
+      .Dataset.points
+  in
+  let r = Cube.run ~points ~k:3 () in
+  Alcotest.(check bool) "within budget" true (List.length r.Cube.order <= 3)
+
+let test_mrr_identical_selection_data () =
+  let st = test_rng 66 in
+  let pts = random_points st ~n:12 ~d:4 in
+  check_float "mrr(D, D) = 0" 0. (Mrr.geometric ~data:pts ~selected:pts)
+
+let suite =
+  [
+    Alcotest.test_case "single point" `Quick test_single_point_everything;
+    Alcotest.test_case "identical points" `Quick test_identical_points;
+    Alcotest.test_case "collinear points" `Quick test_collinear_points;
+    Alcotest.test_case "k = 1" `Quick test_k_equals_one;
+    Alcotest.test_case "invalid inputs" `Quick test_invalid_inputs;
+    Alcotest.test_case "d = 9 dual machinery" `Quick test_high_dimension_dd;
+    Alcotest.test_case "tiny coordinates" `Quick test_tiny_coordinates;
+    Alcotest.test_case "near-duplicate jitter" `Quick test_near_duplicate_jitter;
+    Alcotest.test_case "csv: empty file" `Quick test_csv_empty_file;
+    Alcotest.test_case "happy: simplex boundary" `Quick test_happy_all_on_simplex;
+    Alcotest.test_case "cube: k = d" `Quick test_cube_budget_edge;
+    Alcotest.test_case "mrr of everything" `Quick test_mrr_identical_selection_data;
+  ]

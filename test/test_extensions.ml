@@ -1,0 +1,196 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Average_regret = Kregret.Average_regret
+module Interactive = Kregret.Interactive
+module Geo_greedy = Kregret.Geo_greedy
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+(* --- average regret ------------------------------------------------------ *)
+
+let test_avg_bounds () =
+  let ds = anti 60 3 5 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare points in
+  let all = Array.to_list points in
+  check_float ~eps:1e-9 "full selection has zero average regret" 0.
+    (Average_regret.average_regret ctx all);
+  let single = [ points.(0) ] in
+  let avg = Average_regret.average_regret ctx single in
+  Alcotest.(check bool) "in [0,1]" true (avg >= 0. && avg <= 1.)
+
+let test_avg_monotone () =
+  let ds = anti 50 3 6 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare points in
+  let sel k = List.init k (fun i -> points.(i)) in
+  let prev = ref 1. in
+  List.iter
+    (fun k ->
+      let avg = Average_regret.average_regret ctx (sel k) in
+      Alcotest.(check bool) "monotone decreasing" true (avg <= !prev +. 1e-12);
+      prev := avg)
+    [ 1; 3; 6; 12; 25 ]
+
+let test_avg_greedy () =
+  let ds = anti 80 3 7 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare points in
+  let r = Average_regret.greedy ctx ~points ~k:8 () in
+  Alcotest.(check bool) "selected at most k" true
+    (List.length r.Average_regret.order <= 8);
+  Alcotest.(check bool) "avg regret sane" true
+    (r.Average_regret.avg_regret >= 0. && r.Average_regret.avg_regret < 1.);
+  (* average-optimizing greedy should get average regret at least as good as
+     the mrr-optimizing one *)
+  let geo = Geo_greedy.run ~points ~k:8 () in
+  let geo_sel = List.map (fun i -> points.(i)) geo.Geo_greedy.order in
+  let geo_avg = Average_regret.average_regret ctx geo_sel in
+  Alcotest.(check bool)
+    (Printf.sprintf "avg-greedy %.4f <= geo %.4f + slack"
+       r.Average_regret.avg_regret geo_avg)
+    true
+    (r.Average_regret.avg_regret <= geo_avg +. 0.01);
+  (* and conversely GeoGreedy should win (weakly) on mrr *)
+  Alcotest.(check bool) "geo wins on mrr" true
+    (geo.Geo_greedy.mrr <= r.Average_regret.mrr +. 0.01)
+
+let test_avg_deterministic () =
+  let ds = anti 40 3 8 in
+  let points = ds.Dataset.points in
+  let a = Average_regret.prepare ~seed:3 points in
+  let b = Average_regret.prepare ~seed:3 points in
+  let sel = [ points.(0); points.(3) ] in
+  check_float ~eps:0. "same sample, same value"
+    (Average_regret.average_regret a sel)
+    (Average_regret.average_regret b sel)
+
+(* --- interactive regret minimization ------------------------------------- *)
+
+let test_interactive_converges () =
+  let ds = anti 120 3 9 in
+  let points = ds.Dataset.points in
+  let utility = Vector.normalize [| 0.5; 0.3; 0.2 |] in
+  let r = Interactive.simulate ~points ~utility () in
+  Alcotest.(check bool) "asked at least one question" true (r.Interactive.questions >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "true regret %.4f small" r.Interactive.true_regret)
+    true
+    (r.Interactive.true_regret <= 0.05);
+  (* candidate count shrinks monotonically *)
+  let counts =
+    List.map (fun round -> round.Interactive.candidates_left) r.Interactive.rounds
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "candidates shrink" true (decreasing counts)
+
+let test_interactive_bound_sound () =
+  (* the provable bound must dominate the true regret at the end *)
+  let ds = anti 80 4 10 in
+  let points = ds.Dataset.points in
+  let utility = Vector.normalize [| 0.1; 0.4; 0.2; 0.3 |] in
+  let r = Interactive.simulate ~target_regret:0.001 ~points ~utility () in
+  match List.rev r.Interactive.rounds with
+  | [] -> Alcotest.fail "no rounds"
+  | last :: _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "true %.4f <= bound %.4f + eps" r.Interactive.true_regret
+           last.Interactive.regret_bound)
+        true
+        (r.Interactive.true_regret <= last.Interactive.regret_bound +. 1e-6)
+
+let test_interactive_axis_utility () =
+  (* a user who only cares about one dimension should end up with (a point
+     tied with) the boundary point of that dimension *)
+  let ds = anti 60 3 11 in
+  let points = ds.Dataset.points in
+  let utility = [| 1.; 0.; 0. |] in
+  let r = Interactive.simulate ~points ~utility () in
+  let best = Array.fold_left (fun acc p -> Float.max acc p.(0)) 0. points in
+  check_float ~eps:1e-6 "recommendation maximizes dim 0" best
+    points.(r.Interactive.recommendation).(0)
+
+let test_interactive_few_candidates () =
+  let points = [| [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.7; 0.7 |] |] in
+  let r = Interactive.simulate ~points ~utility:[| 0.6; 0.4 |] () in
+  check_float ~eps:1e-9 "exact answer on tiny input" 0. r.Interactive.true_regret
+
+let suite =
+  [
+    Alcotest.test_case "avg: bounds" `Quick test_avg_bounds;
+    Alcotest.test_case "avg: monotone in selection" `Quick test_avg_monotone;
+    Alcotest.test_case "avg: greedy vs geo trade-off" `Quick test_avg_greedy;
+    Alcotest.test_case "avg: deterministic sample" `Quick test_avg_deterministic;
+    Alcotest.test_case "interactive: converges" `Quick test_interactive_converges;
+    Alcotest.test_case "interactive: bound sound" `Quick test_interactive_bound_sound;
+    Alcotest.test_case "interactive: axis utility" `Quick test_interactive_axis_utility;
+    Alcotest.test_case "interactive: tiny input" `Quick test_interactive_few_candidates;
+    qcheck_case ~count:10 "interactive: true regret within the proven bound"
+      QCheck.(pair (qc_points ~n:40 ~d:3) (qc_point 3))
+      (fun (pts, u) ->
+        QCheck.assume (List.length pts >= 5);
+        let ds =
+          Dataset.normalize (Dataset.create ~name:"qc" (Array.of_list pts))
+        in
+        let r =
+          Interactive.simulate ~max_rounds:30 ~points:ds.Dataset.points
+            ~utility:(Vector.normalize u) ()
+        in
+        let final_bound =
+          match List.rev r.Interactive.rounds with
+          | last :: _ -> last.Interactive.regret_bound
+          | [] -> 1.
+        in
+        (* soundness: the recommendation's true regret never exceeds the
+           provable bound of the final round *)
+        r.Interactive.true_regret <= final_bound +. 1e-6);
+  ]
+
+(* appended edge-case tests *)
+
+let test_interactive_display_exceeds_candidates () =
+  let points = [| [| 1.; 0.3 |]; [| 0.3; 1. |]; [| 0.8; 0.8 |] |] in
+  let r = Interactive.simulate ~display:10 ~points ~utility:[| 0.5; 0.5 |] () in
+  (* one question suffices: everything shown at once *)
+  Alcotest.(check int) "one question" 1 r.Interactive.questions;
+  check_float ~eps:1e-9 "exact" 0. r.Interactive.true_regret
+
+let test_interactive_rejects_small_display () =
+  Alcotest.check_raises "display >= 2"
+    (Invalid_argument "Interactive.simulate: display must be >= 2") (fun () ->
+      ignore
+        (Interactive.simulate ~display:1
+           ~points:[| [| 1.; 1. |] |]
+           ~utility:[| 1.; 0. |] ()))
+
+let test_interactive_lenient_target () =
+  (* target_regret = 1 stops after the first bound computation *)
+  let ds = anti 50 3 21 in
+  let r =
+    Interactive.simulate ~target_regret:1.0 ~points:ds.Dataset.points
+      ~utility:[| 0.4; 0.3; 0.3 |] ()
+  in
+  Alcotest.(check int) "single round" 1 (List.length r.Interactive.rounds)
+
+let test_avg_prepare_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Average_regret.prepare: empty candidate set") (fun () ->
+      ignore (Average_regret.prepare [||]))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "interactive: huge display" `Quick
+        test_interactive_display_exceeds_candidates;
+      Alcotest.test_case "interactive: display validation" `Quick
+        test_interactive_rejects_small_display;
+      Alcotest.test_case "interactive: lenient target" `Quick
+        test_interactive_lenient_target;
+      Alcotest.test_case "avg: empty rejected" `Quick test_avg_prepare_rejects_empty;
+    ]

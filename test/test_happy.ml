@@ -1,0 +1,108 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+module Happy = Kregret_happy.Happy
+module Skyline = Kregret_skyline.Skyline
+module Extreme = Kregret_hull.Extreme
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+
+(* A hand-constructed 2-D configuration with all three candidate tiers
+   strictly separated, mirroring the paper's running example:
+   - p_a, p_b: dimension boundary points (on the hull),
+   - p_c: on the hull,
+   - p_d: skyline but subjugated by p_c (inside Conv({p_c} + VC)),
+   - p_e: skyline, inside Conv(D) (not extreme), but not subjugated by any
+     single point — happy but not convex. *)
+let p_a = [| 1.0; 0.05 |]
+let p_b = [| 0.05; 1.0 |]
+let p_c = [| 0.8; 0.8 |]
+let p_d = [| 0.83; 0.55 |]
+let p_e = [| 0.92; 0.34 |]
+let tiers = [| p_a; p_b; p_c; p_d; p_e |]
+
+let test_cut_box_vertices_2d () =
+  (* q = (0.5, 0.5): the halfspace w.q <= 1 keeps the whole unit box except
+     corner (1,1) is exactly on it: vertices = 4 box corners *)
+  let vs = Happy.cut_box_vertices [| 0.5; 0.5 |] in
+  Alcotest.(check int) "box survives" 4 (List.length vs);
+  (* q = (1, 1): corner (1,1) cut, edge intersections at (1,0)... the corners
+     (1,0),(0,1) are ON the plane; vertices: (0,0),(1,0),(0,1) *)
+  let vs = Happy.cut_box_vertices [| 1.; 1. |] in
+  Alcotest.(check int) "corner cut" 3 (List.length vs);
+  (* q = (0.8, 0.8): cut leaves (0,0),(1,0),(0,1) + intersections (1, 0.25)
+     and (0.25, 1) *)
+  let vs = Happy.cut_box_vertices [| 0.8; 0.8 |] in
+  Alcotest.(check int) "pentagon" 5 (List.length vs)
+
+let test_subjugation_simplex_case () =
+  (* q inside the unit simplex: everything with coordinate sum < 1 is
+     subjugated (by the simplex facet), sum = 1 is not *)
+  let q = [| 0.3; 0.3 |] in
+  Alcotest.(check bool) "below simplex" true (Happy.subjugates q [| 0.4; 0.4 |]);
+  Alcotest.(check bool) "on simplex" false (Happy.subjugates q [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "above simplex" false (Happy.subjugates q [| 0.6; 0.6 |])
+
+let test_subjugation_vertex_case () =
+  Alcotest.(check bool) "p_d subjugated by p_c" true (Happy.subjugates p_c p_d);
+  Alcotest.(check bool) "p_e not subjugated by p_c" false (Happy.subjugates p_c p_e);
+  Alcotest.(check bool) "no self subjugation" false (Happy.subjugates p_c p_c);
+  Alcotest.(check bool) "hull point not subjugated" false (Happy.subjugates p_c p_a)
+
+let test_dominated_is_subjugated () =
+  (* per Lemma 3's proof: dominance implies subjugation *)
+  Alcotest.(check bool) "dominated" true
+    (Happy.subjugates [| 0.9; 0.9 |] [| 0.85; 0.7 |])
+
+let test_tiers () =
+  let sky = Skyline.sfs tiers in
+  Alcotest.(check (array int)) "all on skyline" [| 0; 1; 2; 3; 4 |] sky;
+  let happy = Happy.happy_points tiers in
+  Alcotest.(check (array int)) "happy excludes p_d" [| 0; 1; 2; 4 |] happy;
+  let conv = Extreme.extreme_points (Array.to_list tiers) in
+  Alcotest.(check int) "conv = three hull points" 3 (List.length conv);
+  Alcotest.(check bool) "p_e not extreme" true
+    (not (List.exists (fun p -> Vector.equal ~eps:1e-12 p p_e) conv))
+
+let test_is_happy () =
+  let candidates = Array.to_list tiers in
+  Alcotest.(check bool) "p_e happy" true (Happy.is_happy ~candidates p_e);
+  Alcotest.(check bool) "p_d unhappy" true (not (Happy.is_happy ~candidates p_d))
+
+let test_of_dataset_name () =
+  let ds = Generator.anti_correlated (Rng.create 5) ~n:200 ~d:3 in
+  let happy = Happy.of_dataset ds in
+  Alcotest.(check string) "name" "anti_correlated/happy" happy.Dataset.name
+
+(* Lemma 3 as a property: D_conv <= D_happy <= D_sky, with membership
+   inclusion (on datasets where each dimension is normalized). *)
+let lemma3_property pts =
+  let points = Array.of_list pts in
+  let ds = Dataset.normalize (Dataset.create ~name:"qc" points) in
+  let points = ds.Dataset.points in
+  let sky_idx = Skyline.sfs points in
+  let sky = Array.map (fun i -> points.(i)) sky_idx in
+  let happy_idx = Happy.happy_points sky in
+  let happy = Array.map (fun i -> sky.(i)) happy_idx in
+  let conv = Extreme.extreme_points (Array.to_list sky) in
+  let mem arr p = Array.exists (fun q -> Vector.equal ~eps:0. q p) arr in
+  List.for_all (fun p -> mem happy p) conv
+  && Array.for_all (fun p -> mem sky p) happy
+  && Array.length happy <= Array.length sky
+
+let suite =
+  [
+    Alcotest.test_case "cut box vertices (2d)" `Quick test_cut_box_vertices_2d;
+    Alcotest.test_case "subjugation: simplex case" `Quick test_subjugation_simplex_case;
+    Alcotest.test_case "subjugation: vertex case" `Quick test_subjugation_vertex_case;
+    Alcotest.test_case "dominance implies subjugation" `Quick test_dominated_is_subjugated;
+    Alcotest.test_case "three candidate tiers" `Quick test_tiers;
+    Alcotest.test_case "is_happy" `Quick test_is_happy;
+    Alcotest.test_case "of_dataset naming" `Quick test_of_dataset_name;
+    qcheck_case ~count:60 "Lemma 3: conv <= happy <= sky (d=2)"
+      (qc_points ~n:25 ~d:2) lemma3_property;
+    qcheck_case ~count:40 "Lemma 3: conv <= happy <= sky (d=3)"
+      (qc_points ~n:20 ~d:3) lemma3_property;
+    qcheck_case ~count:15 "Lemma 3: conv <= happy <= sky (d=5)"
+      (qc_points ~n:15 ~d:5) lemma3_property;
+  ]

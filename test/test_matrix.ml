@@ -1,0 +1,77 @@
+open Testutil
+module Matrix = Kregret_geom.Matrix
+module Vector = Kregret_geom.Vector
+
+let test_identity_solve () =
+  match Matrix.solve (Matrix.identity 3) [| 1.; 2.; 3. |] with
+  | None -> Alcotest.fail "identity should be regular"
+  | Some x -> Alcotest.check vector "x = b" [| 1.; 2.; 3. |] x
+
+let test_known_system () =
+  (* 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1 *)
+  let a = [| [| 2.; 1. |]; [| 1.; -1. |] |] in
+  match Matrix.solve a [| 5.; 1. |] with
+  | None -> Alcotest.fail "regular system"
+  | Some x -> Alcotest.check vector "solution" [| 2.; 1. |] x
+
+let test_singular () =
+  let a = [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.(check bool) "singular" true (Matrix.solve a [| 1.; 2. |] = None)
+
+let test_rank () =
+  Alcotest.(check int) "full" 3 (Matrix.rank (Matrix.identity 3));
+  Alcotest.(check int) "deficient" 1 (Matrix.rank [| [| 1.; 2. |]; [| 2.; 4. |] |]);
+  Alcotest.(check int) "zero rows" 0 (Matrix.rank [||]);
+  Alcotest.(check int) "rectangular" 2
+    (Matrix.rank [| [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |] |])
+
+let test_determinant () =
+  check_float "identity" 1. (Matrix.determinant (Matrix.identity 4));
+  check_float "known 2x2" (-2.) (Matrix.determinant [| [| 1.; 2. |]; [| 3.; 4. |] |]);
+  check_float "singular" 0. (Matrix.determinant [| [| 1.; 2. |]; [| 2.; 4. |] |])
+
+let test_mul () =
+  let a = [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let c = Matrix.mul a b in
+  Alcotest.check vector "row0" [| 2.; 1. |] c.(0);
+  Alcotest.check vector "row1" [| 4.; 3. |] c.(1);
+  Alcotest.check vector "mul_vec" [| 5.; 11. |] (Matrix.mul_vec a [| 1.; 2. |])
+
+let test_transpose () =
+  let a = [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let at = Matrix.transpose a in
+  Alcotest.(check int) "rows" 3 (Matrix.rows at);
+  Alcotest.(check int) "cols" 2 (Matrix.cols at);
+  check_float "entry" 6. at.(2).(1)
+
+let qc_matrix d =
+  QCheck.make
+    ~print:(fun m -> Format.asprintf "%a" Matrix.pp m)
+    QCheck.Gen.(
+      array_size (return d)
+        (array_size (return d) (float_range (-2.) 2.)))
+
+let suite =
+  [
+    Alcotest.test_case "identity solve" `Quick test_identity_solve;
+    Alcotest.test_case "known system" `Quick test_known_system;
+    Alcotest.test_case "singular" `Quick test_singular;
+    Alcotest.test_case "rank" `Quick test_rank;
+    Alcotest.test_case "determinant" `Quick test_determinant;
+    Alcotest.test_case "mul" `Quick test_mul;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    qcheck_case ~count:200 "solve residual is zero"
+      QCheck.(pair (qc_matrix 4) (qc_point 4))
+      (fun (a, b) ->
+        match Matrix.solve a b with
+        | None -> true (* singular: nothing to check *)
+        | Some x ->
+            let r = Vector.sub (Matrix.mul_vec a x) b in
+            Vector.norm r < 1e-6);
+    qcheck_case ~count:200 "det(a) = det(a^T)" (qc_matrix 4) (fun a ->
+        abs_float (Matrix.determinant a -. Matrix.determinant (Matrix.transpose a))
+        < 1e-6);
+    qcheck_case ~count:100 "rank bounded by dim" (qc_matrix 5) (fun a ->
+        Matrix.rank a <= 5);
+  ]

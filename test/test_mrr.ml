@@ -1,0 +1,178 @@
+(* Dedicated suite for the Mrr evaluators: Definitions 1 and 2 of the paper,
+   plus the relationships between the four implementations. *)
+
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Mrr = Kregret.Mrr
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+(* --- regret_for_weight (Definition 1) ------------------------------------- *)
+
+let test_rr_zero_when_selection_contains_max () =
+  let data = [ [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.6; 0.6 |] ] in
+  (* under w = (1,0) the best point is (1, 0.2); selecting it kills regret *)
+  check_float "zero" 0.
+    (Mrr.regret_for_weight ~weight:[| 1.; 0. |] ~data ~selected:[ [| 1.; 0.2 |] ])
+
+let test_rr_exact_value () =
+  let data = [ [| 1.; 0.2 |]; [| 0.2; 1. |] ] in
+  let selected = [ [| 0.2; 1. |] ] in
+  (* under w = (1,0): best = 1, selected max = 0.2, rr = 0.8 *)
+  check_float "0.8" 0.8 (Mrr.regret_for_weight ~weight:[| 1.; 0. |] ~data ~selected)
+
+let test_rr_scale_invariant () =
+  let data = [ [| 0.9; 0.4 |]; [| 0.3; 0.8 |] ] in
+  let selected = [ [| 0.3; 0.8 |] ] in
+  let a = Mrr.regret_for_weight ~weight:[| 0.7; 0.3 |] ~data ~selected in
+  let b = Mrr.regret_for_weight ~weight:[| 7.; 3. |] ~data ~selected in
+  check_float "scaling w changes nothing" a b
+
+(* --- finite_class ----------------------------------------------------------- *)
+
+let test_finite_class_is_max () =
+  let data = Array.to_list Kregret.Toy.cars in
+  let selected = [ Kregret.Toy.cars.(1); Kregret.Toy.cars.(2) ] in
+  let per_weight =
+    List.map
+      (fun weight -> Mrr.regret_for_weight ~weight ~data ~selected)
+      Kregret.Toy.weights
+  in
+  check_float "max of the pieces"
+    (List.fold_left Float.max 0. per_weight)
+    (Mrr.finite_class ~weights:Kregret.Toy.weights ~data ~selected)
+
+let test_finite_class_below_full_class () =
+  (* the full linear class can only be more demanding than any finite one *)
+  let ds = anti 40 3 3 in
+  let data = Dataset.to_list ds in
+  let selected = List.filteri (fun i _ -> i mod 7 = 0) data in
+  let weights =
+    [ [| 1.; 0.; 0. |]; [| 0.; 1.; 0. |]; [| 0.; 0.; 1. |]; [| 0.4; 0.3; 0.3 |] ]
+  in
+  Alcotest.(check bool) "finite <= full" true
+    (Mrr.finite_class ~weights ~data ~selected
+    <= Mrr.geometric ~data ~selected +. 1e-9)
+
+(* --- geometric vs lp vs sampled -------------------------------------------- *)
+
+let test_geometric_empty_selection_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mrr: empty selection")
+    (fun () -> ignore (Mrr.geometric ~data:[ [| 1.; 1. |] ] ~selected:[]))
+
+let test_geometric_selection_superset_of_data () =
+  (* selection may contain points outside data: mrr still well-defined, 0 if
+     the selection covers everything *)
+  let data = [ [| 0.5; 0.5 |] ] in
+  let selected = [ [| 1.; 0.2 |]; [| 0.2; 1. |] ] in
+  check_float "covered" 0. (Mrr.geometric ~data ~selected)
+
+let test_known_exact_value_2d () =
+  (* data {(1, eps), (eps, 1), (1,1)} with selection = the two boundary
+     points: worst direction is (1,1)/sqrt 2 against point (1,1):
+     cr = max(w.(1,eps), w.(eps,1)) / w.(1,1) = (1+eps)/2 *)
+  let e = 0.2 in
+  let data = [ [| 1.; e |]; [| e; 1. |]; [| 1.; 1. |] ] in
+  let selected = [ [| 1.; e |]; [| e; 1. |] ] in
+  check_float "1 - (1+e)/2" (1. -. ((1. +. e) /. 2.)) (Mrr.geometric ~data ~selected)
+
+let test_three_way_agreement_various_dims () =
+  List.iter
+    (fun (d, seed) ->
+      let ds = anti 40 d seed in
+      let data = Dataset.to_list ds in
+      let selected =
+        List.map (fun i -> ds.Dataset.points.(Dataset.boundary_point ds i))
+          (List.init d Fun.id)
+        @ List.filteri (fun i _ -> i mod 11 = 0) data
+      in
+      let g = Mrr.geometric ~data ~selected in
+      let l = Mrr.lp ~data ~selected in
+      check_float ~eps:1e-6 (Printf.sprintf "geometric = lp (d=%d)" d) l g;
+      let s = Mrr.sampled ~rng:(Rng.create seed) ~samples:2000 ~data ~selected in
+      Alcotest.(check bool)
+        (Printf.sprintf "sampled <= exact (d=%d)" d)
+        true (s <= g +. 1e-9))
+    [ (2, 10); (3, 11); (4, 12); (5, 13); (6, 14) ]
+
+let test_sampled_converges () =
+  (* more samples can only improve the lower bound (with nested sampling via
+     a shared deterministic stream restart) *)
+  let ds = anti 60 3 15 in
+  let data = Dataset.to_list ds in
+  let selected = List.filteri (fun i _ -> i mod 9 = 0) data in
+  let at samples = Mrr.sampled ~rng:(Rng.create 1) ~samples ~data ~selected in
+  let exact = Mrr.lp ~data ~selected in
+  let s100 = at 100 and s5000 = at 5000 in
+  Alcotest.(check bool) "5000 samples within 10% of exact" true
+    (s5000 >= exact -. 0.1 && s5000 <= exact +. 1e-9);
+  Alcotest.(check bool) "both are lower bounds" true
+    (s100 <= exact +. 1e-9)
+
+(* --- structural properties --------------------------------------------- *)
+
+let test_mrr_invariant_under_data_duplicates () =
+  let ds = anti 30 3 16 in
+  let data = Dataset.to_list ds in
+  let selected = List.filteri (fun i _ -> i mod 5 = 0) data in
+  check_float "duplicating data changes nothing"
+    (Mrr.geometric ~data ~selected)
+    (Mrr.geometric ~data:(data @ data) ~selected)
+
+let test_mrr_dominated_data_point_irrelevant () =
+  let ds = anti 30 2 17 in
+  let data = Dataset.to_list ds in
+  let selected = List.filteri (fun i _ -> i mod 4 = 0) data in
+  let dominated = [| 1e-6; 1e-6 |] in
+  check_float "adding a dominated point changes nothing"
+    (Mrr.geometric ~data ~selected)
+    (Mrr.geometric ~data:(dominated :: data) ~selected)
+
+let suite =
+  [
+    Alcotest.test_case "rr: zero on covered weight" `Quick test_rr_zero_when_selection_contains_max;
+    Alcotest.test_case "rr: exact value" `Quick test_rr_exact_value;
+    Alcotest.test_case "rr: scale invariance" `Quick test_rr_scale_invariant;
+    Alcotest.test_case "finite class = max of pieces" `Quick test_finite_class_is_max;
+    Alcotest.test_case "finite class <= full class" `Quick test_finite_class_below_full_class;
+    Alcotest.test_case "empty selection rejected" `Quick test_geometric_empty_selection_rejected;
+    Alcotest.test_case "selection beyond data" `Quick test_geometric_selection_superset_of_data;
+    Alcotest.test_case "known exact value (2-D)" `Quick test_known_exact_value_2d;
+    Alcotest.test_case "three-way agreement d=2..6" `Quick test_three_way_agreement_various_dims;
+    Alcotest.test_case "sampled lower bound converges" `Quick test_sampled_converges;
+    Alcotest.test_case "duplicate data irrelevant" `Quick test_mrr_invariant_under_data_duplicates;
+    Alcotest.test_case "dominated data irrelevant" `Quick test_mrr_dominated_data_point_irrelevant;
+    qcheck_case ~count:50 "mrr in [0,1) for nonempty selections"
+      (qc_points ~n:15 ~d:3)
+      (fun pts ->
+        QCheck.assume (pts <> []);
+        let selected = [ List.hd pts ] in
+        let v = Mrr.geometric ~data:pts ~selected in
+        v >= 0. && v < 1.);
+    qcheck_case ~count:50 "monotone: bigger selection, smaller mrr"
+      (qc_points ~n:12 ~d:3)
+      (fun pts ->
+        QCheck.assume (List.length pts >= 3);
+        match pts with
+        | a :: b :: rest ->
+            let m1 = Mrr.geometric ~data:pts ~selected:[ a ] in
+            let m2 = Mrr.geometric ~data:pts ~selected:[ a; b ] in
+            let m3 = Mrr.geometric ~data:pts ~selected:(a :: b :: rest) in
+            m2 <= m1 +. 1e-9 && m3 <= m2 +. 1e-9
+        | _ -> true);
+    qcheck_case ~count:30 "finite class converges to geometric from below"
+      (qc_points ~n:10 ~d:2)
+      (fun pts ->
+        QCheck.assume (List.length pts >= 2);
+        let selected = [ List.hd pts ] in
+        let weights =
+          List.init 64 (fun i ->
+              let t = float_of_int i /. 63. *. Float.pi /. 2. in
+              [| cos t; sin t |])
+        in
+        Mrr.finite_class ~weights ~data:pts ~selected
+        <= Mrr.geometric ~data:pts ~selected +. 1e-9);
+  ]

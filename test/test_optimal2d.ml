@@ -1,0 +1,126 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Optimal2d = Kregret.Optimal2d
+module Geo_greedy = Kregret.Geo_greedy
+module Mrr = Kregret.Mrr
+
+(* brute-force reference: all subsets of size <= k *)
+let rec subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) n)
+    @ subsets k (lo + 1) n
+
+let brute_force points k =
+  let n = Array.length points in
+  let data = Array.to_list points in
+  let k = min k n in
+  List.fold_left
+    (fun acc sub ->
+      let selected = List.map (fun i -> points.(i)) sub in
+      Float.min acc (Mrr.geometric ~data ~selected))
+    infinity (subsets k 0 n)
+
+let normalized_random st ~n =
+  (Dataset.normalize
+     (Dataset.create ~name:"o2d"
+        (Array.of_list (random_points st ~n ~d:2))))
+    .Dataset.points
+
+let test_matches_brute_force () =
+  let st = test_rng 808 in
+  for _trial = 1 to 12 do
+    let n = 6 + Random.State.int st 6 in
+    let k = 2 + Random.State.int st 3 in
+    let points = normalized_random st ~n in
+    let dp = Optimal2d.solve ~points ~k () in
+    let bf = brute_force points k in
+    check_float ~eps:1e-6
+      (Printf.sprintf "optimal (n=%d k=%d)" n k)
+      bf dp.Optimal2d.mrr;
+    (* the reported selection must actually achieve the reported value *)
+    let selected = List.map (fun i -> points.(i)) dp.Optimal2d.order in
+    check_float ~eps:1e-6 "selection achieves it"
+      dp.Optimal2d.mrr
+      (Mrr.geometric ~data:(Array.to_list points) ~selected)
+  done
+
+let test_lemma5_instance_optimal () =
+  (* the crafted Lemma-5 instance from test_optimality: optimum 0.0444 via
+     the non-extreme midpoint *)
+  let points =
+    [| [| 1.0; 0.1 |]; [| 0.1; 1.0 |]; [| 0.85; 0.75 |]; [| 0.75; 0.85 |]; [| 0.79; 0.79 |] |]
+  in
+  let dp = Optimal2d.solve ~points ~k:3 () in
+  check_float ~eps:1e-3 "exact optimum" 0.0444 dp.Optimal2d.mrr;
+  Alcotest.(check bool) "uses the midpoint" true (List.mem 4 dp.Optimal2d.order)
+
+let test_greedy_vs_optimal_quality () =
+  (* GeoGreedy is near-optimal in 2-D but not optimal; the optimal solver
+     must never lose *)
+  let st = test_rng 809 in
+  let worst_ratio = ref 1. in
+  for _ = 1 to 10 do
+    let points = normalized_random st ~n:40 in
+    let k = 5 in
+    let geo = Geo_greedy.run ~points ~k () in
+    let opt = Optimal2d.solve ~points ~k () in
+    Alcotest.(check bool)
+      (Printf.sprintf "optimal %.4f <= greedy %.4f" opt.Optimal2d.mrr
+         geo.Geo_greedy.mrr)
+      true
+      (opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. 1e-9);
+    if geo.Geo_greedy.mrr > 1e-12 then
+      worst_ratio := Float.max !worst_ratio (geo.Geo_greedy.mrr /. Float.max opt.Optimal2d.mrr 1e-12)
+  done
+
+let test_full_selection_zero () =
+  let st = test_rng 810 in
+  let points = normalized_random st ~n:15 in
+  let dp = Optimal2d.solve ~points ~k:15 () in
+  check_float ~eps:1e-9 "whole skyline gives zero regret" 0. dp.Optimal2d.mrr
+
+let test_k1 () =
+  let points = [| [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.8; 0.8 |] |] in
+  let dp = Optimal2d.solve ~points ~k:1 () in
+  Alcotest.(check int) "one point" 1 (List.length dp.Optimal2d.order);
+  check_float ~eps:1e-6 "matches brute force" (brute_force points 1) dp.Optimal2d.mrr
+
+let test_rejects_bad_input () =
+  Alcotest.check_raises "3-D rejected"
+    (Invalid_argument "Optimal2d.solve: 2-D points only") (fun () ->
+      ignore (Optimal2d.solve ~points:[| [| 1.; 1.; 1. |] |] ~k:1 ()));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Optimal2d.solve: empty candidate set") (fun () ->
+      ignore (Optimal2d.solve ~points:[||] ~k:1 ()))
+
+let suite =
+  [
+    Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
+    Alcotest.test_case "Lemma-5 instance" `Quick test_lemma5_instance_optimal;
+    Alcotest.test_case "never loses to greedy" `Quick test_greedy_vs_optimal_quality;
+    Alcotest.test_case "full selection" `Quick test_full_selection_zero;
+    Alcotest.test_case "k = 1" `Quick test_k1;
+    Alcotest.test_case "input validation" `Quick test_rejects_bad_input;
+    qcheck_case ~count:40 "optimal <= greedy, both consistent"
+      (qc_points ~n:20 ~d:2)
+      (fun pts ->
+        QCheck.assume (List.length pts >= 4);
+        let points =
+          (Kregret_dataset.Dataset.normalize
+             (Kregret_dataset.Dataset.create ~name:"qc" (Array.of_list pts)))
+            .Kregret_dataset.Dataset.points
+        in
+        let k = 3 in
+        let opt = Optimal2d.solve ~points ~k () in
+        let geo = Geo_greedy.run ~points ~k () in
+        let sel = List.map (fun i -> points.(i)) opt.Optimal2d.order in
+        let recomputed = Mrr.geometric ~data:(Array.to_list points) ~selected:sel in
+        opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. 1e-9
+        && abs_float (recomputed -. opt.Optimal2d.mrr) < 1e-6
+        && List.length opt.Optimal2d.order <= k);
+  ]

@@ -1,0 +1,115 @@
+(* Brute-force verification of the paper's candidate-set lemmas on small
+   instances: enumerate every k-subset, compute its exact maximum regret
+   ratio, and compare the optimum found over all points with the optimum
+   found over happy points only (Lemma 2), plus related facts. *)
+
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Happy = Kregret_happy.Happy
+module Skyline = Kregret_skyline.Skyline
+module Mrr = Kregret.Mrr
+module Geo_greedy = Kregret.Geo_greedy
+
+(* all k-subsets of [0 .. n-1] *)
+let rec subsets k lo n =
+  if k = 0 then [ [] ]
+  else if lo >= n then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) n)
+    @ subsets k (lo + 1) n
+
+let optimal_mrr ~data points indices_pool k =
+  (* "at most k points": with a pool smaller than k, taking the whole pool
+     dominates any smaller subset (mrr is monotone in the selection) *)
+  let k = min k (Array.length indices_pool) in
+  List.fold_left
+    (fun acc subset ->
+      let selected = List.map (fun i -> points.(i)) subset in
+      Float.min acc (Mrr.geometric ~data ~selected))
+    infinity
+    (subsets k 0 (Array.length indices_pool)
+    |> List.map (List.map (fun j -> indices_pool.(j))))
+
+let normalized_random st ~n ~d =
+  let raw =
+    Array.init n (fun _ -> Array.init d (fun _ -> 0.05 +. Random.State.float st 0.95))
+  in
+  (Dataset.normalize (Dataset.create ~name:"opt" raw)).Dataset.points
+
+(* Lemma 2: the optimum over subsets of happy points equals the global
+   optimum. *)
+let lemma2_trial st ~n ~d ~k =
+  let points = normalized_random st ~n ~d in
+  let data = Array.to_list points in
+  let all = Array.init n Fun.id in
+  let sky = Skyline.sfs points in
+  let sky_pts = Array.map (fun i -> points.(i)) sky in
+  let happy = Array.map (fun j -> sky.(j)) (Happy.happy_points sky_pts) in
+  let opt_all = optimal_mrr ~data points all k in
+  let opt_happy = optimal_mrr ~data points happy k in
+  (* happy optimum can a priori only be >=; Lemma 2 says it is equal *)
+  check_float ~eps:1e-6
+    (Printf.sprintf "Lemma 2 (n=%d d=%d k=%d): opt=%.6f" n d k opt_all)
+    opt_all opt_happy
+
+let test_lemma2_2d () =
+  let st = test_rng 2024 in
+  for _ = 1 to 6 do
+    lemma2_trial st ~n:9 ~d:2 ~k:3
+  done
+
+let test_lemma2_3d () =
+  let st = test_rng 2025 in
+  for _ = 1 to 4 do
+    lemma2_trial st ~n:8 ~d:3 ~k:3
+  done
+
+(* The greedy is a heuristic: it should never beat the brute-force optimum,
+   and on small instances it should be within a reasonable factor. *)
+let test_greedy_vs_optimal () =
+  let st = test_rng 77 in
+  for _ = 1 to 5 do
+    let n = 9 and d = 2 and k = 3 in
+    let points = normalized_random st ~n ~d in
+    let data = Array.to_list points in
+    let opt = optimal_mrr ~data points (Array.init n Fun.id) k in
+    let greedy = Geo_greedy.run ~points ~k () in
+    Alcotest.(check bool)
+      (Printf.sprintf "greedy %.4f >= optimal %.4f" greedy.Geo_greedy.mrr opt)
+      true
+      (greedy.Geo_greedy.mrr >= opt -. 1e-9)
+  done
+
+(* Lemma 5: the optimal selection may need points outside D_conv. Crafted
+   instance: boundary points a, b; two symmetric hull points c, e; and a
+   non-extreme midpoint m just below the c-e edge. Any conv-only triple
+   leaves c or e exposed (regret ~0.061), while {a, b, m} covers both
+   (~0.044) — so every optimal set contains the non-conv point m. *)
+let test_conv_not_sufficient () =
+  let a = [| 1.0; 0.1 |] and b = [| 0.1; 1.0 |] in
+  let c = [| 0.85; 0.75 |] and e = [| 0.75; 0.85 |] in
+  let m = [| 0.79; 0.79 |] in
+  let points = [| a; b; c; e; m |] in
+  let data = Array.to_list points in
+  let conv = Kregret_hull.Extreme.extreme_points data in
+  Alcotest.(check int) "conv = {a, b, c, e}" 4 (List.length conv);
+  Alcotest.(check bool) "m is not extreme" true
+    (not (List.exists (fun p -> p == m) conv));
+  Alcotest.(check bool) "m is happy" true
+    (Happy.is_happy ~candidates:data m);
+  let opt_all = optimal_mrr ~data points [| 0; 1; 2; 3; 4 |] 3 in
+  let opt_conv = optimal_mrr ~data points [| 0; 1; 2; 3 |] 3 in
+  check_float ~eps:1e-3 "global optimum uses m" 0.0444 opt_all;
+  Alcotest.(check bool)
+    (Printf.sprintf "conv-only %.4f strictly worse than %.4f" opt_conv opt_all)
+    true
+    (opt_conv > opt_all +. 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "Lemma 2 brute force (d=2)" `Slow test_lemma2_2d;
+    Alcotest.test_case "Lemma 2 brute force (d=3)" `Slow test_lemma2_3d;
+    Alcotest.test_case "greedy never beats optimal" `Slow test_greedy_vs_optimal;
+    Alcotest.test_case "Lemma 5: conv alone insufficient" `Quick test_conv_not_sufficient;
+  ]

@@ -1,0 +1,371 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Mrr = Kregret.Mrr
+module Geo_greedy = Kregret.Geo_greedy
+module Greedy_lp = Kregret.Greedy_lp
+module Stored_list = Kregret.Stored_list
+module Cube = Kregret.Cube
+module Query = Kregret.Query
+module Toy = Kregret.Toy
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+(* --- the paper's worked example ---------------------------------------- *)
+
+let test_toy_utilities () =
+  (* Table II, spot checks *)
+  let u = Toy.utility_table () in
+  check_float ~eps:5e-4 "p1 f(0.3,0.7)" 0.842 u.(0).(0);
+  check_float ~eps:5e-4 "p2 f(0.5,0.5)" 0.845 u.(1).(1);
+  check_float ~eps:5e-4 "p4 f(0.7,0.3)" 0.916 u.(3).(2)
+
+let test_toy_mrr () =
+  (* mrr({p2, p3}) = 0.115 in the paper (rounded) *)
+  let data = Array.to_list Toy.cars in
+  let selected = [ Toy.cars.(1); Toy.cars.(2) ] in
+  let mrr = Mrr.finite_class ~weights:Toy.weights ~data ~selected in
+  check_float ~eps:5e-4 "paper's 0.115" 0.1146 mrr;
+  (* and the individual regrets 0, 0.029, 0.115 *)
+  check_float ~eps:5e-4 "rr f(0.3,0.7)" 0.
+    (Mrr.regret_for_weight ~weight:[| 0.3; 0.7 |] ~data ~selected);
+  check_float ~eps:5e-4 "rr f(0.5,0.5)" 0.0287
+    (Mrr.regret_for_weight ~weight:[| 0.5; 0.5 |] ~data ~selected)
+
+(* --- evaluator agreement ----------------------------------------------- *)
+
+let test_evaluators_agree () =
+  let ds = anti 60 3 31 in
+  let data = Dataset.to_list ds in
+  let selected =
+    List.filteri (fun i _ -> i mod 13 = 0) data
+    @ List.map (fun i -> ds.Dataset.points.(Dataset.boundary_point ds i))
+        [ 0; 1; 2 ]
+  in
+  let g = Mrr.geometric ~data ~selected in
+  let l = Mrr.lp ~data ~selected in
+  check_float ~eps:1e-6 "geometric = lp" l g;
+  let s = Mrr.sampled ~rng:(Rng.create 1) ~samples:3000 ~data ~selected in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled %.4f <= exact %.4f" s g)
+    true
+    (s <= g +. 1e-9);
+  Alcotest.(check bool) "sampled close to exact" true (s >= g -. 0.05)
+
+let test_geometric_without_boundary () =
+  (* selection without per-dimension maxima: the exact bound logic must kick
+     in; compare against LP *)
+  let selected = [ [| 0.4; 0.3 |]; [| 0.25; 0.45 |] ] in
+  let data = [| 1.; 1. |] :: [| 0.5; 0.2 |] :: selected in
+  check_float ~eps:1e-6 "agrees with LP"
+    (Mrr.lp ~data ~selected)
+    (Mrr.geometric ~data ~selected)
+
+(* --- GeoGreedy vs Greedy ------------------------------------------------ *)
+
+let test_same_answers () =
+  List.iter
+    (fun (n, d, k, seed) ->
+      let ds = anti n d seed in
+      let points = ds.Dataset.points in
+      let geo = Geo_greedy.run ~points ~k () in
+      let lp = Greedy_lp.run ~points ~k () in
+      check_float ~eps:1e-6
+        (Printf.sprintf "mrr equal (n=%d d=%d k=%d)" n d k)
+        lp.Greedy_lp.mrr geo.Geo_greedy.mrr;
+      Alcotest.(check (list int))
+        (Printf.sprintf "same order (n=%d d=%d k=%d)" n d k)
+        lp.Greedy_lp.order geo.Geo_greedy.order)
+    [ (40, 2, 6, 1); (60, 3, 8, 2); (50, 4, 9, 3); (30, 5, 8, 4) ]
+
+let test_mrr_self_consistent () =
+  let ds = anti 80 3 77 in
+  let points = ds.Dataset.points in
+  let r = Geo_greedy.run ~points ~k:8 () in
+  let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
+  check_float ~eps:1e-6 "reported mrr = recomputed mrr"
+    (Mrr.geometric ~data:(Array.to_list points) ~selected)
+    r.Geo_greedy.mrr
+
+let test_monotone_in_k () =
+  let ds = anti 100 4 5 in
+  let points = ds.Dataset.points in
+  let prev = ref 1. in
+  List.iter
+    (fun k ->
+      let r = Geo_greedy.run ~points ~k () in
+      Alcotest.(check bool)
+        (Printf.sprintf "mrr(k=%d) <= mrr(k-step)" k)
+        true
+        (r.Geo_greedy.mrr <= !prev +. 1e-9);
+      prev := r.Geo_greedy.mrr)
+    [ 4; 6; 8; 12; 16; 24 ]
+
+let test_champion_cache_ablation () =
+  let ds = anti 60 4 11 in
+  let points = ds.Dataset.points in
+  let a = Geo_greedy.run ~use_champion_cache:true ~points ~k:10 () in
+  let b = Geo_greedy.run ~use_champion_cache:false ~points ~k:10 () in
+  Alcotest.(check (list int)) "same selection" b.Geo_greedy.order a.Geo_greedy.order;
+  check_float "same mrr" b.Geo_greedy.mrr a.Geo_greedy.mrr;
+  Alcotest.(check bool)
+    (Printf.sprintf "cache rescans %d < full rescans %d" a.Geo_greedy.rescans
+       b.Geo_greedy.rescans)
+    true
+    (a.Geo_greedy.rescans < b.Geo_greedy.rescans)
+
+let test_early_stop_zero_regret () =
+  (* k >= number of extreme points: the hull closes, mrr = 0, early return *)
+  let points = [| [| 1.; 0.1 |]; [| 0.1; 1. |]; [| 0.8; 0.8 |]; [| 0.5; 0.5 |] |] in
+  let r = Geo_greedy.run ~points ~k:4 () in
+  check_float "mrr 0" 0. r.Geo_greedy.mrr;
+  Alcotest.(check bool) "selected at most 3 (hull size)" true
+    (List.length r.Geo_greedy.order <= 3)
+
+let test_k_one_dim_boundary () =
+  (* k smaller than d: only the first k boundary points are taken *)
+  let points = [| [| 1.; 0.1; 0.1 |]; [| 0.1; 1.; 0.1 |]; [| 0.1; 0.1; 1. |] |] in
+  let r = Geo_greedy.run ~points ~k:2 () in
+  Alcotest.(check int) "two seeds" 2 (List.length r.Geo_greedy.order)
+
+let test_k_lt_d_unbounded () =
+  (* Section VII: with k = 3 < d = 4 on the four near-corner points, the
+     regret of even the best selection approaches 1 *)
+  let delta = 0.01 in
+  let corner i = Array.init 4 (fun j -> if i = j then 1. else delta) in
+  let points = Array.init 4 corner in
+  let r = Geo_greedy.run ~points ~k:3 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "mrr %.3f near 1" r.Geo_greedy.mrr)
+    true
+    (r.Geo_greedy.mrr > 0.9)
+
+(* --- StoredList ---------------------------------------------------------- *)
+
+let test_stored_list_prefix_property () =
+  let ds = anti 60 3 13 in
+  let points = ds.Dataset.points in
+  let sl = Stored_list.preprocess points in
+  List.iter
+    (fun k ->
+      let direct = Geo_greedy.run ~points ~k () in
+      Alcotest.(check (list int))
+        (Printf.sprintf "prefix(k=%d) = GeoGreedy(k=%d)" k k)
+        direct.Geo_greedy.order (Stored_list.query sl ~k);
+      check_float ~eps:1e-9
+        (Printf.sprintf "stored mrr(k=%d)" k)
+        direct.Geo_greedy.mrr (Stored_list.mrr_at sl ~k))
+    [ 3; 5; 8; 12 ]
+
+let test_stored_list_overlong_query () =
+  let points = [| [| 1.; 0.1 |]; [| 0.1; 1. |]; [| 0.8; 0.8 |] |] in
+  let sl = Stored_list.preprocess points in
+  let all = Stored_list.query sl ~k:100 in
+  Alcotest.(check int) "whole list" (Stored_list.length sl) (List.length all);
+  check_float "mrr 0 at the end" 0. (Stored_list.mrr_at sl ~k:100)
+
+(* --- Cube ---------------------------------------------------------------- *)
+
+let test_cube_valid () =
+  let ds = anti 200 3 19 in
+  let points = ds.Dataset.points in
+  let r = Cube.run ~points ~k:12 () in
+  Alcotest.(check bool) "size within k" true (List.length r.Cube.order <= 12);
+  Alcotest.(check bool) "indices distinct" true
+    (let sorted = List.sort compare r.Cube.order in
+     List.length (List.sort_uniq compare sorted) = List.length sorted);
+  Alcotest.(check bool) "mrr in [0,1]" true (r.Cube.mrr >= 0. && r.Cube.mrr <= 1.)
+
+let test_cube_worse_than_greedy () =
+  (* not a theorem, but on anti-correlated data with moderate k the greedy
+     algorithms should not lose to the grid heuristic *)
+  let ds = anti 300 3 23 in
+  let points = ds.Dataset.points in
+  let cube = Cube.run ~points ~k:10 () in
+  let geo = Geo_greedy.run ~points ~k:10 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "geo %.4f <= cube %.4f + slack" geo.Geo_greedy.mrr cube.Cube.mrr)
+    true
+    (geo.Geo_greedy.mrr <= cube.Cube.mrr +. 0.02)
+
+(* --- Query façade -------------------------------------------------------- *)
+
+let test_query_happy_pipeline () =
+  let ds = anti 150 3 29 in
+  let r = Query.run ~algorithm:Query.Geo_greedy ~candidates:Query.Happy ds ~k:8 in
+  Alcotest.(check bool) "candidates smaller" true
+    (Dataset.size r.Query.candidates <= Dataset.size ds);
+  Alcotest.(check int) "k points" 8 (List.length r.Query.selected);
+  (* mrr over candidates equals mrr over the full data: boundary points are
+     retained by the happy reduction *)
+  check_float ~eps:1e-6 "mrr vs full data"
+    (Mrr.geometric ~data:(Dataset.to_list ds) ~selected:r.Query.selected)
+    r.Query.mrr
+
+let test_query_algorithms_agree () =
+  let ds = anti 80 3 37 in
+  let geo = Query.run ~algorithm:Query.Geo_greedy ~candidates:Query.Happy ds ~k:6 in
+  let lp = Query.run ~algorithm:Query.Greedy_lp ~candidates:Query.Happy ds ~k:6 in
+  let sl = Query.run ~algorithm:Query.Stored_list ~candidates:Query.Happy ds ~k:6 in
+  check_float ~eps:1e-6 "geo = lp" lp.Query.mrr geo.Query.mrr;
+  check_float ~eps:1e-9 "geo = stored" geo.Query.mrr sl.Query.mrr;
+  Alcotest.(check (list int)) "orders geo = stored" geo.Query.order sl.Query.order
+
+let test_names () =
+  Alcotest.(check string) "greedy" "Greedy" (Query.algorithm_name Query.Greedy_lp);
+  Alcotest.(check string) "geo" "GeoGreedy" (Query.algorithm_name Query.Geo_greedy);
+  Alcotest.(check string) "stored" "StoredList" (Query.algorithm_name Query.Stored_list);
+  Alcotest.(check string) "dhappy" "Dhappy" (Query.candidate_set_name Query.Happy)
+
+(* --- properties ----------------------------------------------------------- *)
+
+let qc_normalized_points ~n ~d =
+  QCheck.map
+    (fun pts ->
+      let ds =
+        Dataset.normalize
+          (Dataset.create ~name:"qc" (Array.of_list pts))
+      in
+      ds.Dataset.points)
+    (qc_points ~n ~d)
+
+let base_suite =
+  [
+    Alcotest.test_case "toy: Table II utilities" `Quick test_toy_utilities;
+    Alcotest.test_case "toy: paper's mrr 0.115" `Quick test_toy_mrr;
+    Alcotest.test_case "evaluators agree" `Quick test_evaluators_agree;
+    Alcotest.test_case "geometric mrr without boundary" `Quick test_geometric_without_boundary;
+    Alcotest.test_case "GeoGreedy = Greedy" `Quick test_same_answers;
+    Alcotest.test_case "reported mrr is self-consistent" `Quick test_mrr_self_consistent;
+    Alcotest.test_case "mrr monotone in k" `Quick test_monotone_in_k;
+    Alcotest.test_case "champion cache ablation" `Quick test_champion_cache_ablation;
+    Alcotest.test_case "early stop at zero regret" `Quick test_early_stop_zero_regret;
+    Alcotest.test_case "k < d: boundary only" `Quick test_k_one_dim_boundary;
+    Alcotest.test_case "k < d: unbounded regret (Sec VII)" `Quick test_k_lt_d_unbounded;
+    Alcotest.test_case "StoredList prefix property" `Quick test_stored_list_prefix_property;
+    Alcotest.test_case "StoredList overlong query" `Quick test_stored_list_overlong_query;
+    Alcotest.test_case "Cube validity" `Quick test_cube_valid;
+    Alcotest.test_case "Cube vs greedy quality" `Quick test_cube_worse_than_greedy;
+    Alcotest.test_case "Query: happy pipeline" `Quick test_query_happy_pipeline;
+    Alcotest.test_case "Query: algorithms agree" `Quick test_query_algorithms_agree;
+    Alcotest.test_case "Query: names" `Quick test_names;
+    qcheck_case ~count:25 "GeoGreedy mrr = Greedy mrr (random, d=3)"
+      (qc_normalized_points ~n:25 ~d:3)
+      (fun points ->
+        let k = 5 in
+        let geo = Geo_greedy.run ~points ~k () in
+        let lp = Greedy_lp.run ~points ~k () in
+        abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) < 1e-6);
+    qcheck_case ~count:25 "selection regret vanishes on its own members"
+      (qc_normalized_points ~n:20 ~d:3)
+      (fun points ->
+        let r = Geo_greedy.run ~points ~k:6 () in
+        let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
+        Mrr.geometric ~data:selected ~selected < 1e-9);
+    qcheck_case ~count:15 "sampling never exceeds exact mrr"
+      (qc_normalized_points ~n:20 ~d:4)
+      (fun points ->
+        let r = Geo_greedy.run ~points ~k:6 () in
+        let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
+        let data = Array.to_list points in
+        let exact = Mrr.geometric ~data ~selected in
+        let approx =
+          Mrr.sampled ~rng:(Rng.create 2) ~samples:500 ~data ~selected
+        in
+        approx <= exact +. 1e-9);
+  ]
+
+(* --- StoredList persistence ---------------------------------------------- *)
+
+let test_stored_list_roundtrip () =
+  let ds = anti 50 3 41 in
+  let points = ds.Dataset.points in
+  let sl = Stored_list.preprocess points in
+  let path = Filename.temp_file "kregret" ".list" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Stored_list.save sl ~points path;
+      let back = Stored_list.load ~points path in
+      Alcotest.(check (list int)) "same order" (Stored_list.order sl)
+        (Stored_list.order back);
+      List.iter
+        (fun k ->
+          check_float ~eps:0. "same mrr" (Stored_list.mrr_at sl ~k)
+            (Stored_list.mrr_at back ~k))
+        [ 3; 7; 12 ])
+
+let test_stored_list_fingerprint_guard () =
+  let ds = anti 30 3 43 in
+  let points = ds.Dataset.points in
+  let sl = Stored_list.preprocess points in
+  let path = Filename.temp_file "kregret" ".list" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Stored_list.save sl ~points path;
+      let other = (anti 30 3 44).Dataset.points in
+      Alcotest.(check bool) "mismatch detected" true
+        (try
+           ignore (Stored_list.load ~points:other path);
+           false
+         with Failure _ -> true))
+
+let persistence_cases =
+  [
+    Alcotest.test_case "StoredList save/load roundtrip" `Quick test_stored_list_roundtrip;
+    Alcotest.test_case "StoredList fingerprint guard" `Quick test_stored_list_fingerprint_guard;
+  ]
+
+
+(* --- hybrid LP fallback ---------------------------------------------------- *)
+
+let test_hybrid_identical_results () =
+  List.iter
+    (fun (n, d, k, seed) ->
+      let points = (anti n d seed).Dataset.points in
+      let pure = Geo_greedy.run ~points ~k () in
+      (* a tiny vertex budget forces the fallback almost immediately *)
+      let hybrid = Geo_greedy.run ~max_dual_vertices:1 ~points ~k () in
+      Alcotest.(check bool) "fallback engaged" true
+        (hybrid.Geo_greedy.lp_fallback_at <> None);
+      Alcotest.(check (list int))
+        (Printf.sprintf "same order (n=%d d=%d k=%d)" n d k)
+        pure.Geo_greedy.order hybrid.Geo_greedy.order;
+      check_float ~eps:1e-6 "same mrr" pure.Geo_greedy.mrr hybrid.Geo_greedy.mrr)
+    [ (50, 3, 8, 61); (40, 4, 9, 62); (60, 2, 6, 63) ]
+
+let test_hybrid_not_engaged_when_roomy () =
+  let points = (anti 40 3 64).Dataset.points in
+  let r = Geo_greedy.run ~max_dual_vertices:1_000_000 ~points ~k:8 () in
+  Alcotest.(check bool) "no fallback" true (r.Geo_greedy.lp_fallback_at = None)
+
+let test_hybrid_stored_list_compatible () =
+  (* on_step still fires during the LP phase, so StoredList prefixes built
+     through a hybrid run stay correct *)
+  let points = (anti 30 3 65).Dataset.points in
+  let table = ref [] in
+  let _ =
+    Geo_greedy.run ~max_dual_vertices:1
+      ~on_step:(fun ~size ~mrr -> table := (size, mrr) :: !table)
+      ~points ~k:10 ()
+  in
+  List.iter
+    (fun (size, mrr) ->
+      let direct = Geo_greedy.run ~points ~k:size () in
+      if List.length direct.Geo_greedy.order = size then
+        check_float ~eps:1e-6
+          (Printf.sprintf "prefix mrr at size %d" size)
+          direct.Geo_greedy.mrr mrr)
+    !table
+
+let hybrid_cases =
+  [
+    Alcotest.test_case "hybrid = pure (order and mrr)" `Quick test_hybrid_identical_results;
+    Alcotest.test_case "hybrid: stays geometric when roomy" `Quick test_hybrid_not_engaged_when_roomy;
+    Alcotest.test_case "hybrid: on_step prefixes correct" `Quick test_hybrid_stored_list_compatible;
+  ]
+
+let suite = base_suite @ persistence_cases @ hybrid_cases

@@ -1,0 +1,223 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+module Rtree = Kregret_skyline.Rtree
+module Bbs = Kregret_skyline.Bbs
+module Pqueue = Kregret_skyline.Pqueue
+module Skyline = Kregret_skyline.Skyline
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Dataset = Kregret_dataset.Dataset
+
+(* --- priority queue ------------------------------------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k (int_of_float k)) [ 5.; 1.; 4.; 2.; 3. ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 5; 4; 3; 2; 1 ] !out
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 2. "b";
+  Pqueue.push q 1. "a";
+  Alcotest.(check (option (pair (float 0.) string))) "peek min" (Some (1., "a"))
+    (Pqueue.peek q);
+  Alcotest.(check (option (pair (float 0.) string))) "pop min" (Some (1., "a"))
+    (Pqueue.pop q);
+  Pqueue.push q 0.5 "c";
+  Alcotest.(check (option (pair (float 0.) string))) "new min" (Some (0.5, "c"))
+    (Pqueue.pop q);
+  Alcotest.(check int) "length" 1 (Pqueue.length q);
+  Alcotest.(check bool) "not empty" false (Pqueue.is_empty q)
+
+let test_pqueue_heap_property_random () =
+  let st = test_rng 3 in
+  let q = Pqueue.create () in
+  for _ = 1 to 500 do
+    Pqueue.push q (Random.State.float st 1.) ()
+  done;
+  let prev = ref neg_infinity in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (k, ()) ->
+        Alcotest.(check bool) "non-decreasing" true (k >= !prev);
+        prev := k;
+        drain ()
+  in
+  drain ()
+
+(* --- R-tree ---------------------------------------------------------------- *)
+
+let test_rtree_build_and_invariants () =
+  let st = test_rng 4 in
+  let points = Array.of_list (random_points st ~n:500 ~d:4) in
+  let t = Rtree.build ~capacity:8 points in
+  Rtree.check_invariants t;
+  Alcotest.(check int) "size" 500 (Rtree.size t);
+  Alcotest.(check bool) "height > 1" true (Rtree.height t > 1)
+
+let test_rtree_empty () =
+  let t = Rtree.build [||] in
+  Alcotest.(check int) "size" 0 (Rtree.size t);
+  Alcotest.(check int) "height" 0 (Rtree.height t);
+  Alcotest.(check (list int)) "range" []
+    (Rtree.range t ~low:[| 0.; 0. |] ~high:[| 1.; 1. |])
+
+let test_rtree_range_matches_scan () =
+  let st = test_rng 5 in
+  let points = Array.of_list (random_points st ~n:400 ~d:3) in
+  let t = Rtree.build ~capacity:6 points in
+  for _ = 1 to 20 do
+    let a = random_point st 3 and b = random_point st 3 in
+    let low = Array.init 3 (fun i -> Float.min a.(i) b.(i)) in
+    let high = Array.init 3 (fun i -> Float.max a.(i) b.(i)) in
+    let expected =
+      List.filter
+        (fun i ->
+          let p = points.(i) in
+          let inside = ref true in
+          for j = 0 to 2 do
+            if p.(j) < low.(j) || p.(j) > high.(j) then inside := false
+          done;
+          !inside)
+        (List.init 400 Fun.id)
+    in
+    let got = List.sort compare (Rtree.range t ~low ~high) in
+    Alcotest.(check (list int)) "range = scan" expected got
+  done
+
+let test_rtree_capacity_one_rejected () =
+  Alcotest.check_raises "capacity >= 2"
+    (Invalid_argument "Rtree.build: capacity must be >= 2") (fun () ->
+      ignore (Rtree.build ~capacity:1 [| [| 1.; 1. |] |]))
+
+(* --- BBS -------------------------------------------------------------------- *)
+
+let same_set a b =
+  let norm x = List.sort compare (Array.to_list x) in
+  norm a = norm b
+
+let test_bbs_matches_sfs () =
+  let st = test_rng 6 in
+  List.iter
+    (fun (n, d) ->
+      let points = Array.of_list (random_points st ~n ~d) in
+      let bbs = Bbs.of_points ~capacity:8 points in
+      let sfs = Skyline.sfs points in
+      Alcotest.(check bool)
+        (Printf.sprintf "bbs = sfs (n=%d d=%d)" n d)
+        true (same_set bbs sfs))
+    [ (50, 2); (200, 3); (400, 4); (300, 6) ]
+
+let test_bbs_on_generated () =
+  let ds = Generator.anti_correlated (Rng.create 8) ~n:1_000 ~d:4 in
+  let points = ds.Dataset.points in
+  Alcotest.(check bool) "bbs = sfs on anti-correlated" true
+    (same_set (Bbs.of_points points) (Skyline.sfs points))
+
+let test_bbs_duplicates () =
+  let p = [| 1.; 1. |] in
+  let points = [| Vector.copy p; Vector.copy p; [| 0.3; 0.3 |] |] in
+  Alcotest.(check int) "one copy survives" 1 (Array.length (Bbs.of_points points))
+
+let test_bbs_progressive_order_is_skyline () =
+  (* every index reported is genuinely non-dominated *)
+  let st = test_rng 12 in
+  let points = Array.of_list (random_points st ~n:300 ~d:3) in
+  let sky = Bbs.of_points points in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "not dominated" true
+        (not
+           (Array.exists
+              (fun q -> Kregret_skyline.Dominance.dominates q points.(i))
+              points)))
+    sky
+
+let suite =
+  [
+    Alcotest.test_case "pqueue: order" `Quick test_pqueue_order;
+    Alcotest.test_case "pqueue: interleaved" `Quick test_pqueue_interleaved;
+    Alcotest.test_case "pqueue: random heap property" `Quick test_pqueue_heap_property_random;
+    Alcotest.test_case "rtree: build + invariants" `Quick test_rtree_build_and_invariants;
+    Alcotest.test_case "rtree: empty" `Quick test_rtree_empty;
+    Alcotest.test_case "rtree: range = scan" `Quick test_rtree_range_matches_scan;
+    Alcotest.test_case "rtree: capacity check" `Quick test_rtree_capacity_one_rejected;
+    Alcotest.test_case "bbs: matches sfs" `Quick test_bbs_matches_sfs;
+    Alcotest.test_case "bbs: generated data" `Quick test_bbs_on_generated;
+    Alcotest.test_case "bbs: duplicates" `Quick test_bbs_duplicates;
+    Alcotest.test_case "bbs: soundness" `Quick test_bbs_progressive_order_is_skyline;
+    qcheck_case ~count:60 "bbs = naive on random sets"
+      (qc_points ~n:50 ~d:3)
+      (fun pts ->
+        let points = Array.of_list pts in
+        same_set (Bbs.of_points ~capacity:4 points) (Skyline.naive points));
+    qcheck_case ~count:40 "rtree invariants on random sets"
+      (qc_points ~n:80 ~d:4)
+      (fun pts ->
+        let t = Rtree.build ~capacity:5 (Array.of_list pts) in
+        Rtree.check_invariants t;
+        true);
+  ]
+
+(* appended model-based and bound tests *)
+
+let test_pqueue_model_based () =
+  (* compare against a sorted-list model over a random op sequence *)
+  let st = test_rng 99 in
+  let q = Pqueue.create () in
+  let model = ref [] in
+  for _ = 1 to 2000 do
+    if Random.State.bool st || !model = [] then begin
+      let k = Random.State.float st 1. in
+      Pqueue.push q k k;
+      model := List.sort compare (k :: !model)
+    end
+    else begin
+      match (Pqueue.pop q, !model) with
+      | Some (k, _), m :: rest ->
+          Alcotest.(check (float 0.)) "pop matches model" m k;
+          model := rest
+      | None, [] -> ()
+      | _ -> Alcotest.fail "queue/model disagree on emptiness"
+    end
+  done;
+  Alcotest.(check int) "final sizes agree" (List.length !model) (Pqueue.length q)
+
+let test_rtree_height_bound () =
+  let st = test_rng 100 in
+  let n = 1000 and cap = 4 in
+  let points = Array.of_list (random_points st ~n ~d:3) in
+  let t = Rtree.build ~capacity:cap points in
+  (* every level multiplies arity by at least 2 (STR packs full nodes except
+     stragglers), so height is O(log n) — use the loose but safe bound *)
+  let bound =
+    int_of_float (ceil (log (float_of_int n) /. log 2.)) + 1
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d <= %d" (Rtree.height t) bound)
+    true
+    (Rtree.height t <= bound)
+
+let test_bbs_single_and_empty_tree () =
+  Alcotest.(check int) "empty" 0
+    (Array.length (Bbs.skyline (Rtree.build [||])));
+  Alcotest.(check (array int)) "singleton" [| 0 |]
+    (Bbs.of_points [| [| 0.4; 0.6 |] |])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "pqueue: model-based" `Quick test_pqueue_model_based;
+      Alcotest.test_case "rtree: height bound" `Quick test_rtree_height_bound;
+      Alcotest.test_case "bbs: empty/singleton" `Quick test_bbs_single_and_empty_tree;
+    ]

@@ -1,0 +1,269 @@
+open Testutil
+module Simplex = Kregret_lp.Simplex
+module Model = Kregret_lp.Model
+
+let constr coeffs relation rhs = { Simplex.coeffs; relation; rhs }
+
+let check_optimal msg expected = function
+  | Simplex.Optimal { objective; _ } -> check_float msg expected objective
+  | Simplex.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" msg
+  | Simplex.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" msg
+
+(* max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> optimum 12 at (4,0) *)
+let test_textbook_max () =
+  let r =
+    Simplex.maximize ~nvars:2 ~objective:[| 3.; 2. |]
+      [ constr [| 1.; 1. |] Le 4.; constr [| 1.; 3. |] Le 6. ]
+  in
+  check_optimal "objective" 12. r;
+  match r with
+  | Simplex.Optimal { solution; _ } ->
+      Alcotest.check vector "argmax" [| 4.; 0. |] solution
+  | _ -> assert false
+
+(* min x + y s.t. x + 2y >= 3, 2x + y >= 3 -> optimum 2 at (1,1) *)
+let test_phase1_min () =
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 1.; 1. |]
+      [ constr [| 1.; 2. |] Ge 3.; constr [| 2.; 1. |] Ge 3. ]
+  in
+  check_optimal "objective" 2. r
+
+let test_equality () =
+  (* min 2x + 3y s.t. x + y = 10, x <= 6 -> x=6, y=4, obj 24 *)
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 2.; 3. |]
+      [ constr [| 1.; 1. |] Eq 10.; constr [| 1.; 0. |] Le 6. ]
+  in
+  check_optimal "objective" 24. r
+
+let test_infeasible () =
+  let r =
+    Simplex.minimize ~nvars:1 ~objective:[| 1. |]
+      [ constr [| 1. |] Ge 2.; constr [| 1. |] Le 1. ]
+  in
+  Alcotest.(check bool) "infeasible" true (r = Simplex.Infeasible)
+
+let test_unbounded () =
+  let r =
+    Simplex.maximize ~nvars:2 ~objective:[| 1.; 0. |]
+      [ constr [| 0.; 1. |] Le 1. ]
+  in
+  Alcotest.(check bool) "unbounded" true (r = Simplex.Unbounded)
+
+let test_negative_rhs () =
+  (* min x s.t. -x <= -5 (i.e. x >= 5) *)
+  let r =
+    Simplex.minimize ~nvars:1 ~objective:[| 1. |] [ constr [| -1. |] Le (-5.) ]
+  in
+  check_optimal "objective" 5. r
+
+let test_degenerate () =
+  (* Beale's-style degeneracy exercise: optimum still found. *)
+  let r =
+    Simplex.minimize ~nvars:4
+      ~objective:[| -0.75; 150.; -0.02; 6. |]
+      [
+        constr [| 0.25; -60.; -0.04; 9. |] Le 0.;
+        constr [| 0.5; -90.; -0.02; 3. |] Le 0.;
+        constr [| 0.; 0.; 1.; 0. |] Le 1.;
+      ]
+  in
+  check_optimal "objective" (-0.05) r
+
+let test_redundant_equalities () =
+  (* x + y = 2 stated twice: phase 1 leaves a redundant row. *)
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 1.; 2. |]
+      [ constr [| 1.; 1. |] Eq 2.; constr [| 1.; 1. |] Eq 2. ]
+  in
+  check_optimal "objective" 2. r
+
+(* Brute-force reference: enumerate basic solutions (vertex candidates) of
+   {x >= 0, Ax <= b} in 2-D and take the best feasible one. *)
+let brute_force_max_2d objective rows =
+  let feasible (x, y) =
+    x >= -1e-9 && y >= -1e-9
+    && List.for_all (fun (a, b, c) -> (a *. x) +. (b *. y) <= c +. 1e-7) rows
+  in
+  let lines =
+    ((1., 0., 0.) :: (0., 1., 0.) :: rows)
+  in
+  let candidates = ref [] in
+  List.iteri
+    (fun i (a1, b1, c1) ->
+      List.iteri
+        (fun j (a2, b2, c2) ->
+          if i < j then begin
+            let det = (a1 *. b2) -. (a2 *. b1) in
+            if abs_float det > 1e-9 then begin
+              let x = ((c1 *. b2) -. (c2 *. b1)) /. det in
+              let y = ((a1 *. c2) -. (a2 *. c1)) /. det in
+              (* intersection of boundary lines a.x = c *)
+              if feasible (x, y) then candidates := (x, y) :: !candidates
+            end
+          end)
+        lines)
+    lines;
+  List.fold_left
+    (fun acc (x, y) ->
+      let v = (fst objective *. x) +. (snd objective *. y) in
+      match acc with Some b when b >= v -> acc | _ -> Some v)
+    None !candidates
+
+let qc_lp_2d =
+  QCheck.make
+    ~print:(fun (o, rows) ->
+      Format.asprintf "obj=(%f,%f) rows=%s" (fst o) (snd o)
+        (String.concat ";"
+           (List.map (fun (a, b, c) -> Printf.sprintf "(%f,%f)<=%f" a b c) rows)))
+    QCheck.Gen.(
+      let coef = float_range 0.1 2. in
+      pair (pair coef coef)
+        (list_size (int_range 1 6) (triple coef coef (float_range 0.5 3.))))
+
+let prop_matches_brute_force (objective, rows) =
+  (* all coefficients positive, so the LP is bounded and 0 is feasible *)
+  let r =
+    Simplex.maximize ~nvars:2
+      ~objective:[| fst objective; snd objective |]
+      (List.map (fun (a, b, c) -> constr [| a; b |] Le c) rows)
+  in
+  match (r, brute_force_max_2d objective rows) with
+  | Simplex.Optimal { objective = v; _ }, Some v' -> abs_float (v -. v') < 1e-5
+  | _ -> false
+
+let test_model_free_var () =
+  (* max delta s.t. delta <= 3, delta >= -10; optimum 3 with delta free *)
+  let m = Model.create () in
+  let d = Model.add_free_var m ~name:"delta" in
+  Model.add_le m [ (1., d) ] 3.;
+  Model.add_ge m [ (1., d) ] (-10.);
+  match Model.maximize m [ (1., d) ] with
+  | Model.Optimal { objective; values } ->
+      check_float "objective" 3. objective;
+      check_float "value" 3. (values d)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_model_free_var_negative () =
+  (* min delta s.t. delta >= -4 -> -4, exercising the negative side *)
+  let m = Model.create () in
+  let d = Model.add_free_var m ~name:"delta" in
+  Model.add_ge m [ (1., d) ] (-4.);
+  match Model.minimize m [ (1., d) ] with
+  | Model.Optimal { objective; values } ->
+      check_float "objective" (-4.) objective;
+      check_float "value" (-4.) (values d)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_model_accumulates_terms () =
+  (* coefficient accumulation: x + x <= 4 means 2x <= 4 *)
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  Model.add_le m [ (1., x); (1., x) ] 4.;
+  match Model.maximize m [ (1., x) ] with
+  | Model.Optimal { objective; _ } -> check_float "objective" 2. objective
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_model_names () =
+  let m = Model.create () in
+  let x = Model.add_var m ~name:"x" in
+  let y = Model.add_free_var m ~name:"y" in
+  Alcotest.(check string) "x" "x" (Model.name m x);
+  Alcotest.(check string) "y" "y" (Model.name m y)
+
+let suite =
+  [
+    Alcotest.test_case "textbook max" `Quick test_textbook_max;
+    Alcotest.test_case "phase-1 min" `Quick test_phase1_min;
+    Alcotest.test_case "equality" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+    Alcotest.test_case "degenerate pivoting" `Quick test_degenerate;
+    Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
+    Alcotest.test_case "model: free var" `Quick test_model_free_var;
+    Alcotest.test_case "model: free var negative" `Quick test_model_free_var_negative;
+    Alcotest.test_case "model: term accumulation" `Quick test_model_accumulates_terms;
+    Alcotest.test_case "model: names" `Quick test_model_names;
+    qcheck_case ~count:300 "2-D LP matches vertex enumeration" qc_lp_2d
+      prop_matches_brute_force;
+  ]
+
+(* appended: phase-1-heavy random programs cross-checked in 2-D *)
+
+(* reference for min c.x s.t. A x >= b, x >= 0 in 2-D by vertex enumeration *)
+let brute_force_min_2d objective rows =
+  let feasible (x, y) =
+    x >= -1e-9 && y >= -1e-9
+    && List.for_all (fun (a, b, c) -> (a *. x) +. (b *. y) >= c -. 1e-7) rows
+  in
+  let lines = (1., 0., 0.) :: (0., 1., 0.) :: rows in
+  let best = ref None in
+  List.iteri
+    (fun i (a1, b1, c1) ->
+      List.iteri
+        (fun j (a2, b2, c2) ->
+          if i < j then begin
+            let det = (a1 *. b2) -. (a2 *. b1) in
+            if abs_float det > 1e-9 then begin
+              let x = ((c1 *. b2) -. (c2 *. b1)) /. det in
+              let y = ((a1 *. c2) -. (a2 *. c1)) /. det in
+              if feasible (x, y) then begin
+                let v = (fst objective *. x) +. (snd objective *. y) in
+                match !best with
+                | Some b when b <= v -> ()
+                | _ -> best := Some v
+              end
+            end
+          end)
+        lines)
+    lines;
+  !best
+
+let qc_ge_lp_2d =
+  QCheck.make
+    ~print:(fun (o, rows) ->
+      Format.asprintf "obj=(%f,%f) rows=%s" (fst o) (snd o)
+        (String.concat ";"
+           (List.map (fun (a, b, c) -> Printf.sprintf "(%f,%f)>=%f" a b c) rows)))
+    QCheck.Gen.(
+      let coef = float_range 0.1 2. in
+      pair (pair coef coef)
+        (list_size (int_range 1 5) (triple coef coef (float_range 0.2 1.5))))
+
+let prop_ge_matches_brute_force (objective, rows) =
+  (* positive costs and >= constraints: bounded, feasible, phase 1 required *)
+  let r =
+    Simplex.minimize ~nvars:2
+      ~objective:[| fst objective; snd objective |]
+      (List.map (fun (a, b, c) -> constr [| a; b |] Ge c) rows)
+  in
+  match (r, brute_force_min_2d objective rows) with
+  | Simplex.Optimal { objective = v; _ }, Some v' -> abs_float (v -. v') < 1e-5
+  | _ -> false
+
+let test_mixed_relations () =
+  (* min x + y s.t. x + y >= 2, x - y = 0.5, x <= 1.5: x=1.25, y=0.75 *)
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 1.; 1. |]
+      [
+        constr [| 1.; 1. |] Ge 2.;
+        constr [| 1.; -1. |] Eq 0.5;
+        constr [| 1.; 0. |] Le 1.5;
+      ]
+  in
+  check_optimal "objective" 2. r;
+  match r with
+  | Simplex.Optimal { solution; _ } ->
+      check_float "x" 1.25 solution.(0);
+      check_float "y" 0.75 solution.(1)
+  | _ -> assert false
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mixed relations" `Quick test_mixed_relations;
+      qcheck_case ~count:300 "Ge-only LPs match vertex enumeration" qc_ge_lp_2d
+        prop_ge_matches_brute_force;
+    ]

@@ -1,0 +1,112 @@
+open Testutil
+module Dataset = Kregret_dataset.Dataset
+module Stats = Kregret_dataset.Stats
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Validation = Kregret.Validation
+
+(* --- Stats ----------------------------------------------------------------- *)
+
+let test_known_moments () =
+  let ds =
+    Dataset.create ~name:"known" [| [| 1.; 2. |]; [| 3.; 6. |]; [| 2.; 4. |] |]
+  in
+  Alcotest.check vector "means" [| 2.; 4. |] (Stats.means ds);
+  Alcotest.check vector "minima" [| 1.; 2. |] (Stats.minima ds);
+  Alcotest.check vector "maxima" [| 3.; 6. |] (Stats.maxima ds);
+  let sd = Stats.stddevs ds in
+  check_float "std dim0" (sqrt (2. /. 3.)) sd.(0);
+  (* dim1 = 2 * dim0 exactly: perfect correlation *)
+  let c = Stats.correlation ds in
+  check_float "perfect correlation" 1. c.(0).(1);
+  check_float "diagonal" 1. c.(0).(0);
+  check_float "mean pairwise" 1. (Stats.mean_pairwise_correlation ds)
+
+let test_anticorrelated_pair () =
+  let ds =
+    Dataset.create ~name:"anti" [| [| 1.; 0. |]; [| 0.; 1. |]; [| 0.5; 0.5 |] |]
+  in
+  let c = Stats.correlation ds in
+  check_float "perfect anti-correlation" (-1.) c.(0).(1)
+
+let test_zero_variance_dim () =
+  let ds = Dataset.create ~name:"flat" [| [| 1.; 0.3 |]; [| 1.; 0.9 |] |] in
+  let c = Stats.correlation ds in
+  check_float "flat dim self-correlation" 1. c.(0).(0);
+  check_float "flat dim cross-correlation" 0. c.(0).(1)
+
+let test_generator_correlation_signs () =
+  let n = 4000 and d = 4 in
+  let corr =
+    Stats.mean_pairwise_correlation (Generator.correlated (Rng.create 1) ~n ~d)
+  in
+  let anti =
+    Stats.mean_pairwise_correlation
+      (Generator.anti_correlated (Rng.create 1) ~n ~d)
+  in
+  let indep =
+    Stats.mean_pairwise_correlation (Generator.independent (Rng.create 1) ~n ~d)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "correlated %+.3f > 0.3" corr)
+    true (corr > 0.3);
+  Alcotest.(check bool)
+    (Printf.sprintf "anti-correlated %+.3f < -0.05" anti)
+    true (anti < -0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "independent |%+.3f| small" indep)
+    true
+    (abs_float indep < 0.1)
+
+let test_nba_positive_correlation () =
+  let ds = Generator.nba_like (Rng.create 2) ~n:4000 in
+  Alcotest.(check bool) "nba stats positively correlated" true
+    (Stats.mean_pairwise_correlation ds > 0.1)
+
+(* --- Validation -------------------------------------------------------------- *)
+
+let test_validation_passes () =
+  let ds = Generator.anti_correlated (Rng.create 3) ~n:400 ~d:3 in
+  let r = Validation.run ~samples:2000 ds ~k:6 in
+  Alcotest.(check bool)
+    (String.concat "; " r.Validation.failures)
+    true r.Validation.ok;
+  Alcotest.(check bool) "candidates <= skyline" true
+    (r.Validation.candidates <= r.Validation.skyline);
+  check_float ~eps:1e-9 "geo = stored" r.Validation.geo_mrr r.Validation.stored_mrr
+
+let test_validation_all_dists () =
+  List.iter
+    (fun name ->
+      let ds = Kregret_dataset.Generator.by_name name (Rng.create 5) ~n:800 ~d:4 in
+      let r = Validation.run ~samples:500 ds ~k:5 in
+      Alcotest.(check bool)
+        (name ^ ": " ^ String.concat "; " r.Validation.failures)
+        true r.Validation.ok)
+    [ "independent"; "correlated"; "anti_correlated"; "nba"; "stocks" ]
+
+let suite =
+  [
+    Alcotest.test_case "known moments" `Quick test_known_moments;
+    Alcotest.test_case "anti-correlated pair" `Quick test_anticorrelated_pair;
+    Alcotest.test_case "zero-variance dimension" `Quick test_zero_variance_dim;
+    Alcotest.test_case "generator correlation signs" `Quick test_generator_correlation_signs;
+    Alcotest.test_case "nba-like positively correlated" `Quick test_nba_positive_correlation;
+    Alcotest.test_case "validation: passes" `Quick test_validation_passes;
+    Alcotest.test_case "validation: all distributions" `Quick test_validation_all_dists;
+    qcheck_case ~count:50 "correlation matrix is symmetric with unit diagonal"
+      (qc_points ~n:20 ~d:4)
+      (fun pts ->
+        QCheck.assume (List.length pts >= 3);
+        let ds = Dataset.create ~name:"qc" (Array.of_list pts) in
+        let c = Stats.correlation ds in
+        let ok = ref true in
+        for i = 0 to 3 do
+          if abs_float (c.(i).(i) -. 1.) > 1e-9 then ok := false;
+          for j = 0 to 3 do
+            if abs_float (c.(i).(j) -. c.(j).(i)) > 1e-9 then ok := false;
+            if c.(i).(j) > 1. +. 1e-9 || c.(i).(j) < -1. -. 1e-9 then ok := false
+          done
+        done;
+        !ok);
+  ]

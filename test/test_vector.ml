@@ -1,0 +1,76 @@
+open Testutil
+module Vector = Kregret_geom.Vector
+
+let test_basics () =
+  let v = Vector.init 3 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check int) "dim" 3 (Vector.dim v);
+  check_float "dot" 14. (Vector.dot v v);
+  check_float "norm" (sqrt 14.) (Vector.norm v);
+  check_float "norm1" 6. (Vector.norm1 v);
+  check_float "norm_inf" 3. (Vector.norm_inf v);
+  check_float "sum" 6. (Vector.sum v);
+  Alcotest.check vector "add" [| 2.; 4.; 6. |] (Vector.add v v);
+  Alcotest.check vector "sub" [| 0.; 0.; 0. |] (Vector.sub v v);
+  Alcotest.check vector "scale" [| 2.; 4.; 6. |] (Vector.scale 2. v)
+
+let test_basis () =
+  let e1 = Vector.basis 3 1 in
+  Alcotest.check vector "basis" [| 0.; 1.; 0. |] e1;
+  Alcotest.check_raises "out of range" (Invalid_argument "Vector.basis: index out of range")
+    (fun () -> ignore (Vector.basis 3 3))
+
+let test_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vector.dot: dimension mismatch")
+    (fun () -> ignore (Vector.dot [| 1. |] [| 1.; 2. |]))
+
+let test_extrema () =
+  let v = [| 0.5; 0.9; 0.1 |] in
+  Alcotest.(check (pair int (float 1e-9))) "max" (1, 0.9) (Vector.max_coord v);
+  Alcotest.(check (pair int (float 1e-9))) "min" (2, 0.1) (Vector.min_coord v)
+
+let test_normalize () =
+  let v = Vector.normalize [| 3.; 4. |] in
+  Alcotest.check vector "unit" [| 0.6; 0.8 |] v;
+  Alcotest.check_raises "zero" (Invalid_argument "Vector.normalize: zero vector")
+    (fun () -> ignore (Vector.normalize [| 0.; 0. |]))
+
+let test_lerp () =
+  let u = [| 0.; 0. |] and v = [| 2.; 4. |] in
+  Alcotest.check vector "mid" [| 1.; 2. |] (Vector.lerp u v 0.5);
+  Alcotest.check vector "ends" u (Vector.lerp u v 0.);
+  Alcotest.check vector "ends" v (Vector.lerp u v 1.)
+
+let test_in_place () =
+  let u = [| 1.; 2. |] in
+  Vector.add_in_place u [| 1.; 1. |];
+  Alcotest.check vector "add_in_place" [| 2.; 3. |] u;
+  Vector.scale_in_place 2. u;
+  Alcotest.check vector "scale_in_place" [| 4.; 6. |] u
+
+let suite =
+  let qc name arb prop = qcheck_case ~count:200 name arb prop in
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "basis" `Quick test_basis;
+    Alcotest.test_case "mismatch" `Quick test_mismatch;
+    Alcotest.test_case "extrema" `Quick test_extrema;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "lerp" `Quick test_lerp;
+    Alcotest.test_case "in_place" `Quick test_in_place;
+    qc "cauchy-schwarz"
+      QCheck.(pair (qc_point 5) (qc_point 5))
+      (fun (u, v) ->
+        Vector.dot u v <= (Vector.norm u *. Vector.norm v) +. 1e-9);
+    qc "triangle inequality"
+      QCheck.(pair (qc_point 6) (qc_point 6))
+      (fun (u, v) ->
+        Vector.norm (Vector.add u v) <= Vector.norm u +. Vector.norm v +. 1e-9);
+    qc "normalize gives unit norm" (qc_point 4) (fun v ->
+        abs_float (Vector.norm (Vector.normalize v) -. 1.) < 1e-9);
+    qc "lerp stays on segment"
+      QCheck.(triple (qc_point 3) (qc_point 3) (float_bound_inclusive 1.))
+      (fun (u, v, t) ->
+        let w = Vector.lerp u v t in
+        Vector.norm (Vector.sub w u) +. Vector.norm (Vector.sub w v)
+        <= Vector.norm (Vector.sub u v) +. 1e-6);
+  ]
