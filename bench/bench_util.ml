@@ -69,3 +69,94 @@ let seconds t =
   if t < 1e-4 then Printf.sprintf "%.1fus" (1e6 *. t)
   else if t < 0.1 then Printf.sprintf "%.2fms" (1e3 *. t)
   else Printf.sprintf "%.3fs" t
+
+(* ---- machine-readable output (BENCH_<id>.json) --------------------------- *)
+
+(* A self-contained JSON writer: the bench tracks per-row timings across PRs
+   (see ISSUE 1), and a hand-rolled printer avoids a yojson dependency. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let rec pp_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.9g" f)
+      else Buffer.add_string buf "null"
+  | String s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          pp_json buf x)
+        l;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          pp_json buf (String k);
+          Buffer.add_string buf ": ";
+          pp_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let rev = try String.trim (input_line ic) with End_of_file -> "" in
+       (match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when rev <> "" -> rev
+       | _ -> "unknown")
+     with _ -> "unknown")
+
+(* Destination directory for BENCH_<id>.json files ($BENCH_JSON_DIR or cwd). *)
+let json_dir () =
+  match Sys.getenv_opt "BENCH_JSON_DIR" with Some d when d <> "" -> d | _ -> "."
+
+(* [emit_json ~id rows extra] writes BENCH_<id>.json carrying the rows of
+   the section's text table plus run metadata: jobs count, git revision,
+   timestamp. One file per section id; reruns overwrite. *)
+let emit_json ~id ?(extra = []) rows =
+  let doc =
+    Obj
+      ([
+         ("id", String id);
+         ("git_rev", String (Lazy.force git_rev));
+         ("jobs", Int (Kregret_parallel.Pool.get_jobs ()));
+         ("generated_at", Float (Unix.gettimeofday ()));
+       ]
+      @ extra
+      @ [ ("rows", List (List.map (fun r -> Obj r) rows)) ])
+  in
+  let buf = Buffer.create 1024 in
+  pp_json buf doc;
+  Buffer.add_char buf '\n';
+  let path = Filename.concat (json_dir ()) ("BENCH_" ^ id ^ ".json") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Fmt.pr "  # wrote %s@." path

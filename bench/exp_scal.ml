@@ -1,10 +1,21 @@
 (* The Section V-C scalability anecdote: "on 5 million tuples, Greedy took 3
    hours, GeoGreedy a few minutes, StoredList under a second". Laptop-scaled
    to the largest n that keeps the whole bench run in minutes; the deliverable
-   is the ordering and the orders-of-magnitude gaps. *)
+   is the ordering and the orders-of-magnitude gaps.
+
+   Since ISSUE 1 the preprocessing pipeline (skyline + happy filter) fans
+   out over the domain pool, so this section also measures the parallel
+   speedup: it times the preprocessing at jobs=1 and at the configured pool
+   width, prints both, and records everything in BENCH_scal.json so the
+   perf trajectory is trackable across PRs. *)
 
 open Bench_util
 module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Pool = Kregret_parallel.Pool
 module Geo_greedy = Kregret.Geo_greedy
 module Greedy_lp = Kregret.Greedy_lp
 module Stored_list = Kregret.Stored_list
@@ -12,16 +23,49 @@ module Stored_list = Kregret.Stored_list
 let scal_n = ref 30_000
 let scal_k = ref 100
 
+(* skyline + happy timings at a given pool width; bypasses the tiers cache
+   so the two widths measure the same fresh computation *)
+let preprocess_at ~jobs full =
+  let prev = Pool.get_jobs () in
+  Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs prev) @@ fun () ->
+  let sky, t_sky = time (fun () -> Skyline.of_dataset full) in
+  let happy_idx, t_happy =
+    time (fun () -> Happy.happy_points sky.Dataset.points)
+  in
+  (sky, happy_idx, t_sky, t_happy)
+
 let run () =
+  let jobs = Pool.get_jobs () in
   header
     (Printf.sprintf
-       "Scalability anecdote -- anti-correlated n=%d d=6, k=%d (paper: n=5M, k=100)"
-       !scal_n !scal_k);
-  let t = tiers_of ~d:6 ~n:!scal_n "anti_correlated" in
-  Fmt.pr "preprocessing: skyline %s (|Dsky|=%d), happy +%s (|Dhappy|=%d)@."
-    (seconds t.t_sky) (Dataset.size t.sky) (seconds t.t_happy)
-    (Dataset.size t.happy);
-  let points = t.happy.Dataset.points in
+       "Scalability anecdote -- anti-correlated n=%d d=6, k=%d, jobs=%d \
+        (paper: n=5M, k=100)"
+       !scal_n !scal_k jobs);
+  let full =
+    Generator.by_name "anti_correlated" (Rng.create bench_seed) ~n:!scal_n ~d:6
+  in
+  let sky1, happy1_idx, t_sky_seq, t_happy_seq = preprocess_at ~jobs:1 full in
+  let sky, happy_idx, t_sky, t_happy =
+    if jobs = 1 then (sky1, happy1_idx, t_sky_seq, t_happy_seq)
+    else preprocess_at ~jobs full
+  in
+  assert (happy_idx = happy1_idx);
+  (* determinism contract, cheap to assert here *)
+  let seq_total = t_sky_seq +. t_happy_seq in
+  let par_total = t_sky +. t_happy in
+  let speedup = if par_total > 0. then seq_total /. par_total else 1. in
+  Fmt.pr
+    "preprocessing(jobs=1): skyline %s (|Dsky|=%d), happy +%s (|Dhappy|=%d)@."
+    (seconds t_sky_seq) (Dataset.size sky1) (seconds t_happy_seq)
+    (Array.length happy1_idx);
+  if jobs > 1 then
+    Fmt.pr "preprocessing(jobs=%d): skyline %s, happy +%s  (speedup %.2fx)@."
+      jobs (seconds t_sky) (seconds t_happy) speedup;
+  let happy =
+    { (Dataset.sub sky ~indices:happy_idx) with Dataset.name = "anti/happy" }
+  in
+  let points = happy.Dataset.points in
   let k = !scal_k in
   let sl, t_build =
     time (fun () -> Stored_list.preprocess ~max_length:(k + 28) points)
@@ -42,4 +86,42 @@ let run () =
       Printf.sprintf "%.4f" (Stored_list.mrr_at sl ~k);
     ];
   note "expected: query time StoredList (us) << GeoGreedy << Greedy;";
-  note "identical mrr for all three"
+  note "identical mrr for all three";
+  let pre_row ~phase ~jobs ~secs ~size =
+    [
+      ("phase", String phase);
+      ("jobs", Int jobs);
+      ("seconds", Float secs);
+      ("output_size", Int size);
+    ]
+  in
+  let algo_row ~name ~query ~pre ~mrr =
+    [
+      ("algorithm", String name);
+      ("query_seconds", Float query);
+      ("preprocess_seconds", match pre with Some p -> Float p | None -> Null);
+      ("mrr", Float mrr);
+    ]
+  in
+  emit_json ~id:"scal"
+    ~extra:
+      [
+        ("n", Int !scal_n);
+        ("d", Int 6);
+        ("k", Int k);
+        ("happy_size", Int (Array.length happy_idx));
+        ("preprocess_seconds_jobs1", Float seq_total);
+        ("preprocess_seconds_jobsN", Float par_total);
+        ("preprocess_speedup", Float speedup);
+      ]
+    [
+      pre_row ~phase:"skyline" ~jobs:1 ~secs:t_sky_seq ~size:(Dataset.size sky1);
+      pre_row ~phase:"happy" ~jobs:1 ~secs:t_happy_seq
+        ~size:(Array.length happy1_idx);
+      pre_row ~phase:"skyline" ~jobs ~secs:t_sky ~size:(Dataset.size sky);
+      pre_row ~phase:"happy" ~jobs ~secs:t_happy ~size:(Array.length happy_idx);
+      algo_row ~name:"Greedy" ~query:t_lp ~pre:None ~mrr:lp.Greedy_lp.mrr;
+      algo_row ~name:"GeoGreedy" ~query:t_geo ~pre:None ~mrr:geo.Geo_greedy.mrr;
+      algo_row ~name:"StoredList" ~query:t_sl ~pre:(Some t_build)
+        ~mrr:(Stored_list.mrr_at sl ~k);
+    ]

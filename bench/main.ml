@@ -5,6 +5,13 @@
      dune exec bench/main.exe                 # everything, default scales
      dune exec bench/main.exe -- fig9 fig10   # selected sections
      dune exec bench/main.exe -- --quick all  # smaller scales (CI-friendly)
+     dune exec bench/main.exe -- --smoke scal # tiny scales (seconds; CI smoke)
+     dune exec bench/main.exe -- --jobs 4 scal# pool width for parallel paths
+
+   [--jobs N] sizes the domain pool (default: KREGRET_JOBS or the number of
+   cores). Sections additionally emit machine-readable BENCH_<id>.json files
+   (per-row timings, jobs count, git rev) alongside the text tables — see
+   Bench_util.emit_json.
 
    Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
    scal ablation micro. *)
@@ -32,13 +39,42 @@ let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N: size the domain pool before any section runs *)
+  let args =
+    let rec strip_jobs acc = function
+      | "--jobs" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some j when j >= 1 ->
+              Kregret_parallel.Pool.set_jobs j;
+              strip_jobs acc rest
+          | _ ->
+              Fmt.epr "--jobs expects a positive integer, got %S@." n;
+              exit 2)
+      | "--jobs" :: [] ->
+          Fmt.epr "--jobs expects a positive integer@.";
+          exit 2
+      | a :: rest -> strip_jobs (a :: acc) rest
+      | [] -> List.rev acc
+    in
+    strip_jobs [] args
+  in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick" && a <> "all") args in
+  let smoke = List.mem "--smoke" args in
+  let args =
+    List.filter (fun a -> a <> "--quick" && a <> "--smoke" && a <> "all") args
+  in
   if quick then begin
     Bench_util.real_scale := 2_000;
     Exp_synth.base_n := 2_000;
     Exp_scal.scal_n := 10_000;
     Exp_scal.scal_k := 50
+  end;
+  if smoke then begin
+    (* tiny scales: every section in seconds, for CI on jobs=1 and jobs=2 *)
+    Bench_util.real_scale := 500;
+    Exp_synth.base_n := 500;
+    Exp_scal.scal_n := 2_000;
+    Exp_scal.scal_k := 20
   end;
   let wanted =
     match args with

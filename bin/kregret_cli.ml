@@ -53,6 +53,20 @@ let seed_arg =
 let k_arg =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Output size of the query.")
 
+let jobs_arg =
+  let doc =
+    "Domain pool width for the parallel hot paths (skyline, happy filter, \
+     GeoGreedy scans, Greedy LPs, sampling). Defaults to $(b,KREGRET_JOBS) \
+     or the machine's recommended domain count; 1 forces purely sequential \
+     execution. Results are identical for every width."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
+let apply_jobs = function
+  | None -> ()
+  | Some j when j >= 1 -> Kregret_parallel.Pool.set_jobs j
+  | Some j -> Fmt.failwith "--jobs must be >= 1 (got %d)" j
+
 let file_arg =
   Arg.(
     value
@@ -88,7 +102,8 @@ let gen_cmd =
 (* ---- stats --------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file dist n d seed with_conv summary = wrap @@ fun () ->
+  let run file dist n d seed with_conv summary jobs = wrap @@ fun () ->
+    apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     if summary then Fmt.pr "%a@." Kregret_dataset.Stats.pp_summary ds;
     let sky, t_sky = timed (fun () -> Skyline.of_dataset ds) in
@@ -119,7 +134,9 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Candidate-set statistics (Table III)")
-    Term.(const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ with_conv $ summary)
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
+      $ with_conv $ summary $ jobs_arg)
 
 (* ---- query ---------------------------------------------------------------- *)
 
@@ -147,7 +164,9 @@ let candidates_arg =
     & info [ "candidates"; "c" ] ~docv:"SET" ~doc:"Candidate set: all | sky | happy.")
 
 let query_cmd =
-  let run file dist n d seed k algorithm candidates verbose vertex_cap = wrap @@ fun () ->
+  let run file dist n d seed k algorithm candidates verbose vertex_cap jobs =
+    wrap @@ fun () ->
+    apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
     let result, t_query =
@@ -191,12 +210,14 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a k-regret query")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ k_arg
-      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap)
+      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap $ jobs_arg)
 
 (* ---- sweep ----------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run file dist n d seed algorithm candidates ks output = wrap @@ fun () ->
+  let run file dist n d seed algorithm candidates ks output jobs =
+    wrap @@ fun () ->
+    apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
     let emit out =
@@ -235,12 +256,13 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run a k-sweep and emit CSV (one row per k)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ algorithm_arg $ candidates_arg $ ks $ output)
+      $ algorithm_arg $ candidates_arg $ ks $ output $ jobs_arg)
 
 (* ---- materialize ------------------------------------------------------------ *)
 
 let materialize_cmd =
-  let run file dist n d seed list_path max_length = wrap @@ fun () ->
+  let run file dist n d seed list_path max_length jobs = wrap @@ fun () ->
+    apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let happy, t_pre = timed (fun () -> Query.reduce ds Query.Happy) in
     let points = happy.Dataset.points in
@@ -269,7 +291,7 @@ let materialize_cmd =
        ~doc:"Precompute a StoredList for a dataset (Section IV-B preprocessing)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ list_path $ max_length)
+      $ list_path $ max_length $ jobs_arg)
 
 (* ---- query-list -------------------------------------------------------------- *)
 
@@ -312,7 +334,8 @@ let query_list_cmd =
 (* ---- validate --------------------------------------------------------------- *)
 
 let validate_cmd =
-  let run file dist n d seed k = wrap @@ fun () ->
+  let run file dist n d seed k jobs = wrap @@ fun () ->
+    apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let report, t = timed (fun () -> Kregret.Validation.run ds ~k) in
     Fmt.pr "%a" Kregret.Validation.pp_report report;
@@ -321,7 +344,9 @@ let validate_cmd =
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Cross-check algorithms and evaluators")
-    Term.(const run $ file_arg $ dist_arg $ n_arg 2_000 $ d_arg $ seed_arg $ k_arg)
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 2_000 $ d_arg $ seed_arg $ k_arg
+      $ jobs_arg)
 
 let () =
   let info = Cmd.info "kregret" ~version:"1.0.0" ~doc:"k-regret queries (ICDE 2014 geometry approach)" in

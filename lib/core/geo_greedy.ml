@@ -1,6 +1,7 @@
 module Vector = Kregret_geom.Vector
 module Dd = Kregret_hull.Dd
 module Dual_polytope = Kregret_hull.Dual_polytope
+module Pool = Kregret_parallel.Pool
 
 type result = {
   order : int list;
@@ -51,13 +52,16 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
   (* champion.(j) = (dual vertex id, max dot) for candidate j; only
      meaningful while j is outside the selection *)
   let champion = Array.make n (-1, infinity) in
+  (* [full_rescan] / [scan_among] run both sequentially and from pool
+     workers: they write only the disjoint slot [champion.(j)] and read the
+     dual polytope, which is never mutated inside a parallel region. The
+     [rescans] diagnostic counter is accumulated per-chunk by the callers
+     (a shared [incr] would race across domains). *)
   let full_rescan j =
-    incr rescans;
     let v, m = Dual_polytope.champion dp points.(j) in
     champion.(j) <- (v.Dd.id, m)
   in
   let scan_among vertices j =
-    incr rescans;
     let best = ref None in
     List.iter
       (fun v ->
@@ -70,19 +74,49 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
     | Some c -> champion.(j) <- c
     | None -> full_rescan j (* defensive: no new/touched vertices *)
   in
+  let full_rescan_all () =
+    let scanned =
+      Pool.map_reduce ~lo:0 ~hi:n
+        ~map:(fun a b ->
+          let cnt = ref 0 in
+          for j = a to b - 1 do
+            if not in_s.(j) then begin
+              incr cnt;
+              full_rescan j
+            end
+          done;
+          !cnt)
+        ~reduce:( + ) 0
+    in
+    rescans := !rescans + scanned
+  in
   let apply_event ev =
     if use_champion_cache then begin
-      let removed = ev.Dd.removed in
-      let fresh = ev.Dd.created @ ev.Dd.touched in
-      for j = 0 to n - 1 do
-        if (not in_s.(j)) && List.mem (fst champion.(j)) removed then
-          scan_among fresh j
-      done
+      match ev.Dd.removed with
+      | [] -> () (* redundant constraint: no champion can be invalidated *)
+      | removed_list ->
+          (* membership probes run n times per event: an int-keyed table
+             beats the former O(n * |removed|) [List.mem] scan *)
+          let removed = Hashtbl.create (2 * List.length removed_list) in
+          List.iter (fun id -> Hashtbl.replace removed id ()) removed_list;
+          let fresh = ev.Dd.created @ ev.Dd.touched in
+          let scanned =
+            Pool.map_reduce ~lo:0 ~hi:n
+              ~map:(fun a b ->
+                let cnt = ref 0 in
+                for j = a to b - 1 do
+                  if (not in_s.(j)) && Hashtbl.mem removed (fst champion.(j))
+                  then begin
+                    incr cnt;
+                    scan_among fresh j
+                  end
+                done;
+                !cnt)
+              ~reduce:( + ) 0
+          in
+          rescans := !rescans + scanned
     end
-    else
-      for j = 0 to n - 1 do
-        if not in_s.(j) then full_rescan j
-      done
+    else full_rescan_all ()
   in
   let insert j =
     in_s.(j) <- true;
@@ -105,9 +139,7 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
   in
   seed seeds;
   (* champions start from a full scan once the seeds are in *)
-  for j = 0 to n - 1 do
-    if not in_s.(j) then full_rescan j
-  done;
+  full_rescan_all ();
   rescans := 0;
   (* greedy iterations: the candidate with the largest champion value has the
      smallest critical ratio (cr = 1 / max w.q) *)
@@ -150,15 +182,34 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
     let lp_stop = ref false in
     while (not !lp_stop) && !size < k do
       let sel = selected () in
-      let best = ref None in
-      for j = 0 to n - 1 do
-        if not in_s.(j) then begin
-          let cr, _ = Kregret_lp.Regret_lp.critical_ratio ~selected:sel points.(j) in
-          match !best with
-          | Some (_, bcr) when bcr <= cr -> ()
-          | _ -> best := Some (j, cr)
-        end
-      done;
+      (* per-candidate critical-ratio LPs are independent (the simplex has
+         no shared state); deterministic argmin: each chunk keeps its
+         earliest minimum, the left-to-right reduce keeps the earlier chunk
+         on ties — exactly the sequential first-wins scan *)
+      let best =
+        Pool.map_reduce ~lo:0 ~hi:n
+          ~map:(fun a b ->
+            let best = ref None in
+            for j = a to b - 1 do
+              if not in_s.(j) then begin
+                let cr, _ =
+                  Kregret_lp.Regret_lp.critical_ratio ~selected:sel points.(j)
+                in
+                match !best with
+                | Some (_, bcr) when bcr <= cr -> ()
+                | _ -> best := Some (j, cr)
+              end
+            done;
+            !best)
+          ~reduce:(fun acc chunk ->
+            match (acc, chunk) with
+            | None, c -> c
+            | a, None -> a
+            | Some (_, bcr), Some (_, cr) when cr < bcr -> chunk
+            | a, _ -> a)
+          None
+      in
+      let best = ref best in
       match !best with
       | None -> lp_stop := true
       | Some (_, cr) when cr >= 1. -. eps ->

@@ -1,5 +1,6 @@
 module Vector = Kregret_geom.Vector
 module Regret_lp = Kregret_lp.Regret_lp
+module Pool = Kregret_parallel.Pool
 
 type result = { order : int list; mrr : float; iterations : int; lp_calls : int }
 
@@ -24,19 +25,41 @@ let run ?(eps = 1e-9) ~points ~k () =
     List.rev_map (fun j -> points.(j)) !order
   in
   let min_cr () =
-    (* smallest critical ratio among the remaining candidates *)
+    (* smallest critical ratio among the remaining candidates; the
+       per-candidate LPs fan out across the domain pool (the simplex holds
+       no shared state). Each chunk keeps its earliest minimum and the
+       deterministic left-to-right reduce keeps the earlier chunk on ties,
+       so the argmin — and hence the greedy trajectory — is identical to
+       the sequential first-wins scan for every pool width. *)
     let sel = selected () in
-    let best = ref None in
-    for j = 0 to n - 1 do
-      if not in_s.(j) then begin
-        incr lp_calls;
-        let cr, _ = Regret_lp.critical_ratio ~selected:sel points.(j) in
-        match !best with
-        | Some (_, bcr) when bcr <= cr -> ()
-        | _ -> best := Some (j, cr)
-      end
-    done;
-    !best
+    let calls, best =
+      Pool.map_reduce ~lo:0 ~hi:n
+        ~map:(fun a b ->
+          let calls = ref 0 in
+          let best = ref None in
+          for j = a to b - 1 do
+            if not in_s.(j) then begin
+              incr calls;
+              let cr, _ = Regret_lp.critical_ratio ~selected:sel points.(j) in
+              match !best with
+              | Some (_, bcr) when bcr <= cr -> ()
+              | _ -> best := Some (j, cr)
+            end
+          done;
+          (!calls, !best))
+        ~reduce:(fun (acc_calls, acc) (calls, chunk) ->
+          let merged =
+            match (acc, chunk) with
+            | None, c -> c
+            | a, None -> a
+            | Some (_, bcr), Some (_, cr) when cr < bcr -> chunk
+            | a, _ -> a
+          in
+          (acc_calls + calls, merged))
+        (0, None)
+    in
+    lp_calls := !lp_calls + calls;
+    best
   in
   let iterations = ref 0 in
   let stop = ref false in

@@ -2,6 +2,7 @@ module Vector = Kregret_geom.Vector
 module Dual_polytope = Kregret_hull.Dual_polytope
 module Regret_lp = Kregret_lp.Regret_lp
 module Rng = Kregret_dataset.Rng
+module Pool = Kregret_parallel.Pool
 
 let check ~selected =
   if selected = [] then invalid_arg "Mrr: empty selection"
@@ -58,12 +59,33 @@ let random_direction rng d =
     Vector.normalize v
   end
 
+(* The sample budget is carved into fixed blocks of [sample_block]
+   directions, each owned by an Rng derived from the caller's generator by
+   sequential [Rng.split]s. Block layout depends only on [samples] (never
+   on the pool width) and [Float.max] over non-NaN floats is exact and
+   associative, so the estimate is bit-identical for every jobs count —
+   the qcheck determinism suite pins this down. *)
+let sample_block = 64
+
 let sampled ~rng ~samples ~data ~selected =
   check ~selected;
   let d = Vector.dim (List.hd selected) in
-  let acc = ref 0. in
-  for _ = 1 to samples do
-    let weight = random_direction rng d in
-    acc := Float.max !acc (regret_for_weight ~weight ~data ~selected)
-  done;
-  !acc
+  if samples <= 0 then 0.
+  else begin
+    let blocks = (samples + sample_block - 1) / sample_block in
+    let rngs = Array.make blocks rng in
+    for b = 0 to blocks - 1 do
+      rngs.(b) <- Rng.split rng
+    done;
+    Pool.map_reduce ~lo:0 ~hi:blocks ~chunk_size:1
+      ~map:(fun b _ ->
+        let r = rngs.(b) in
+        let count = min sample_block (samples - (b * sample_block)) in
+        let acc = ref 0. in
+        for _ = 1 to count do
+          let weight = random_direction r d in
+          acc := Float.max !acc (regret_for_weight ~weight ~data ~selected)
+        done;
+        !acc)
+      ~reduce:Float.max 0.
+  end

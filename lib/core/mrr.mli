@@ -23,7 +23,13 @@ val lp :
 (** [sampled ~rng ~samples ~data ~selected] — empirical maximum of
     [rr(S, f_w)] over [samples] random non-negative unit directions [w]
     (Gaussian-orthant and sparse axis-biased mixtures). Always [<=] the
-    exact value. *)
+    exact value.
+
+    The budget is split into fixed 64-sample blocks, each driven by an
+    independent generator derived from [rng] by [Rng.split], and the
+    blocks are evaluated on the domain pool. The block layout depends
+    only on [samples], so the estimate is bit-identical for every
+    [KREGRET_JOBS] / [--jobs] setting. *)
 val sampled :
   rng:Kregret_dataset.Rng.t ->
   samples:int ->

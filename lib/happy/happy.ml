@@ -1,5 +1,6 @@
 module Vector = Kregret_geom.Vector
 module Dataset = Kregret_dataset.Dataset
+module Pool = Kregret_parallel.Pool
 
 let default_eps = 1e-9
 
@@ -52,7 +53,10 @@ let is_happy ?(eps = default_eps) ~candidates p =
 
 let happy_points ?(eps = default_eps) points =
   let n = Array.length points in
-  let vertex_sets = Array.map (fun q -> cut_box_vertices ~eps q) points in
+  (* each [Q_q] vertex enumeration is independent: fan out over the pool *)
+  let vertex_sets = Array.make n [] in
+  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+      vertex_sets.(i) <- cut_box_vertices ~eps points.(i));
   (* probe strong subjugators first: a point with a large coordinate sum has
      a large [P_q] and disqualifies most victims, so the inner loop's early
      exit fires after a handful of probes instead of O(n) *)
@@ -60,24 +64,31 @@ let happy_points ?(eps = default_eps) points =
   Array.sort
     (fun a b -> compare (Vector.sum points.(b)) (Vector.sum points.(a)))
     probe_order;
-  let keep = ref [] in
+  (* per-victim verdicts are independent of each other (they only read
+     [points] / [vertex_sets]), so the quadratic subjugation loop fans out
+     too; verdicts land in disjoint slots and the survivor list is rebuilt
+     in index order, identical for every pool width *)
+  let keep = Array.make n false in
+  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+      let p = points.(i) in
+      let subjugated = ref false in
+      Array.iter
+        (fun j ->
+          if (not !subjugated) && j <> i then begin
+            let q = points.(j) in
+            if
+              (not (Vector.equal ~eps:0. q p))
+              && inside_pq ~eps vertex_sets.(j) p
+              && not (on_all_hyperplanes ~eps q p)
+            then subjugated := true
+          end)
+        probe_order;
+      keep.(i) <- not !subjugated);
+  let out = ref [] in
   for i = n - 1 downto 0 do
-    let p = points.(i) in
-    let subjugated = ref false in
-    Array.iter
-      (fun j ->
-        if (not !subjugated) && j <> i then begin
-          let q = points.(j) in
-          if
-            (not (Vector.equal ~eps:0. q p))
-            && inside_pq ~eps vertex_sets.(j) p
-            && not (on_all_hyperplanes ~eps q p)
-          then subjugated := true
-        end)
-      probe_order;
-    if not !subjugated then keep := i :: !keep
+    if keep.(i) then out := i :: !out
   done;
-  Array.of_list !keep
+  Array.of_list !out
 
 let of_dataset ?eps ds =
   let sky = Kregret_skyline.Skyline.of_dataset ds in

@@ -73,8 +73,22 @@ let fresh_vertex t w =
   Hashtbl.replace t.vertices id v;
   v
 
+(* [create] seeds the vertex set with every corner of the bounding box:
+   2^d vertices of d floats each. d = 17 would already allocate >1M corner
+   vectors (~200 MB at d = 20) before any constraint arrives, far past the
+   practical range of the dual-polytope index (the paper tops out at d = 10
+   and EXPERIMENTS.md shows the face count exploding well before that), so
+   the constructor refuses instead of silently thrashing. *)
+let max_dim = 16
+
 let create ?(bound = 1e3) ~dim () =
-  if dim < 1 || dim > 20 then invalid_arg "Dd.create: dim out of [1, 20]";
+  if dim < 1 || dim > max_dim then
+    invalid_arg
+      (Printf.sprintf
+         "Dd.create: dim %d out of [1, %d] (the seed box enumerates 2^d \
+          corner vertices; beyond %d that is >10^5 allocations before any \
+          work happens)"
+         dim max_dim max_dim);
   let t =
     {
       d = dim;
@@ -103,7 +117,8 @@ let create ?(bound = 1e3) ~dim () =
   done;
   t
 
-(* sorted-array intersection size, with early abort once [limit] reached *)
+(* sorted-array intersection of two tight sets (no early abort: adjacency
+   needs the full common set for the rank test below) *)
 let intersect_tight a b =
   let la = Array.length a and lb = Array.length b in
   let out = ref [] in
@@ -159,13 +174,51 @@ let add_constraint t ~normal ~offset =
   | cut_list ->
       (* candidate new vertices: intersections of edges (u kept, v cut) *)
       let created = ref [] in
-      let too_close x y = Vector.equal ~eps:(10. *. t.tight_eps) x y in
+      let eps_dup = 10. *. t.tight_eps in
+      let too_close x y = Vector.equal ~eps:eps_dup x y in
+      (* Duplicate probe: the former [List.exists] over created @ on made
+         degenerate cuts O(|candidates|^2). Instead hash every accepted
+         vertex under a scalar key — a fixed positive combination h.x
+         quantised to buckets wider than the key drift eps_dup * sum h of
+         any two eps_dup-close points — and re-check [too_close] only in
+         the candidate's bucket and its two neighbours. Exact same accept /
+         reject decisions, amortised O(1) per candidate. *)
+      let hcoef i = 1. +. (0.6180339887498949 *. float_of_int i) in
+      let hkey x =
+        let s = ref 0. in
+        Array.iteri (fun i xi -> s := !s +. (hcoef i *. xi)) x;
+        !s
+      in
+      let hsum =
+        let s = ref 0. in
+        for i = 0 to t.d - 1 do
+          s := !s +. hcoef i
+        done;
+        !s
+      in
+      let bucket_w = Float.max 1e-300 (2. *. eps_dup *. hsum) in
+      let bucket x = int_of_float (Float.floor (hkey x /. bucket_w)) in
+      let buckets : (int, Vector.t list) Hashtbl.t = Hashtbl.create 64 in
+      let remember x =
+        let k = bucket x in
+        let prev = try Hashtbl.find buckets k with Not_found -> [] in
+        Hashtbl.replace buckets k (x :: prev)
+      in
+      let dup x =
+        let k = bucket x in
+        List.exists
+          (fun k ->
+            match Hashtbl.find_opt buckets k with
+            | Some l -> List.exists (fun y -> too_close y x) l
+            | None -> false)
+          [ k - 1; k; k + 1 ]
+      in
+      List.iter (fun v -> remember v.w) !on;
       let consider x =
-        let dup =
-          List.exists (fun v -> too_close v.w x) !created
-          || List.exists (fun v -> too_close v.w x) !on
-        in
-        if not dup then created := fresh_vertex t x :: !created
+        if not (dup x) then begin
+          remember x;
+          created := fresh_vertex t x :: !created
+        end
       in
       List.iter
         (fun v ->

@@ -47,8 +47,13 @@ type event = {
 
 (** [create ~dim ~bound ()] is the box [[0, bound]^d] (default bound
     [1e3]) with its [2^dim] corner vertices. Raises [Invalid_argument] for
-    [dim < 1] or [dim > 20]. *)
+    [dim < 1] or [dim > 16]: the corner enumeration is exponential in
+    [dim], and past 16 it would silently allocate hundreds of thousands of
+    seed vertices before any constraint arrives. *)
 val create : ?bound:float -> dim:int -> unit -> t
+
+(** The largest accepted [dim] (16). *)
+val max_dim : int
 
 (** [dim t] is the ambient dimension. *)
 val dim : t -> int

@@ -1,0 +1,238 @@
+(* Fixed-size domain pool on stdlib Domain/Mutex/Condition/Atomic.
+
+   Design notes (see DESIGN.md "Parallel substrate"):
+
+   - Each parallel region allocates a fresh [job] record holding its own
+     atomic chunk counter and completion count. Workers take a snapshot of
+     [t.current] under the pool mutex, then race on the job's *own* atomic
+     counter for chunks. A lagging worker from a previous region still holds
+     the *old* job record, whose counter is exhausted — it can never steal or
+     re-run a chunk of the next region. This is what makes back-to-back
+     regions safe without waiting for worker quiescence.
+
+   - Memory model: the caller publishes the job record by writing
+     [t.current] and bumping [t.generation] under the mutex; workers read
+     both under the same mutex, which establishes the happens-before edge
+     for everything the body closure captures. Completion travels the other
+     way: workers decrement [job.unfinished] under the mutex and the caller
+     waits on it under the mutex, so all body writes are visible to the
+     caller when the region returns.
+
+   - Determinism: chunk boundaries are a pure function of the range and
+     [chunk_size] (never of [jobs]), and [map_reduce] folds chunk results
+     left-to-right on the caller. Parallelism decides only *when* a chunk
+     runs, never *what* it computes or how results combine. *)
+
+type job = {
+  body : int -> unit; (* receives a chunk index in [0, count) *)
+  count : int;
+  next : int Atomic.t; (* next chunk to claim *)
+  mutable unfinished : int; (* chunks not yet executed; under pool mutex *)
+  mutable failure : (exn * Printexc.raw_backtrace) option; (* under mutex *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int; (* bumped once per region, under mutex *)
+  mutable current : job option; (* under mutex *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  busy : bool Atomic.t; (* a region is executing: rejects nesting *)
+}
+
+let jobs t = t.jobs
+
+let drain t job =
+  let continue_ = ref true in
+  while !continue_ do
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c >= job.count then continue_ := false
+    else begin
+      (match job.failure with
+      | Some _ -> () (* region already failed: just retire the chunk *)
+      | None -> (
+          try job.body c
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            if job.failure = None then job.failure <- Some (e, bt);
+            Mutex.unlock t.mutex));
+      Mutex.lock t.mutex;
+      job.unfinished <- job.unfinished - 1;
+      if job.unfinished = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let rec worker_loop t last_gen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.generation = last_gen do
+    Condition.wait t.work_ready t.mutex
+  done;
+  let stop = t.stop in
+  let gen = t.generation in
+  let job = t.current in
+  Mutex.unlock t.mutex;
+  if not stop then begin
+    (match job with Some j -> drain t j | None -> ());
+    worker_loop t gen
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Kregret_parallel.Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      current = None;
+      stop = false;
+      workers = [];
+      busy = Atomic.make false;
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* Execute [body c] for every chunk index c in [0, chunks) on the pool.
+   The caller participates; returns when every chunk has executed. *)
+let run_chunks t ~chunks body =
+  if chunks > 0 then begin
+    if t.stop then
+      invalid_arg "Kregret_parallel.Pool: pool already shut down";
+    if t.jobs = 1 || chunks = 1 then
+      (* inline: no pool machinery, exceptions propagate naturally *)
+      for c = 0 to chunks - 1 do
+        body c
+      done
+    else begin
+      if not (Atomic.compare_and_set t.busy false true) then
+        invalid_arg "Kregret_parallel.Pool: nested parallel region";
+      let job =
+        {
+          body;
+          count = chunks;
+          next = Atomic.make 0;
+          unfinished = chunks;
+          failure = None;
+        }
+      in
+      Mutex.lock t.mutex;
+      t.current <- Some job;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      drain t job;
+      Mutex.lock t.mutex;
+      while job.unfinished > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      Atomic.set t.busy false;
+      match job.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+  end
+
+(* ---- global pool --------------------------------------------------------- *)
+
+let requested : int option ref = ref None
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Kregret_parallel.Pool.set_jobs: jobs must be >= 1";
+  requested := Some j
+
+let env_jobs () =
+  match Sys.getenv_opt "KREGRET_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let get_jobs () =
+  match !requested with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> max 1 (Domain.recommended_domain_count ()))
+
+let global : t option ref = ref None
+
+let get () =
+  let width = get_jobs () in
+  match !global with
+  | Some p when p.jobs = width && not p.stop -> p
+  | prev ->
+      (match prev with Some p -> shutdown p | None -> ());
+      let p = create ~jobs:width in
+      global := Some p;
+      p
+
+(* ---- chunked iteration ---------------------------------------------------- *)
+
+(* At most 64 chunks; a pure function of the range so that reduction
+   boundaries never depend on the pool width. 64 keeps per-chunk scheduling
+   cost negligible while load-balancing up to ~16 domains. *)
+let default_chunk_size ~n = max 1 ((n + 63) / 64)
+
+let resolve = function Some p -> p | None -> get ()
+
+let chunking ?chunk_size n =
+  let cs =
+    match chunk_size with
+    | None -> default_chunk_size ~n
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Kregret_parallel.Pool: chunk_size must be >= 1"
+  in
+  (cs, (n + cs - 1) / cs)
+
+let parallel_for ?pool ?chunk_size ~lo ~hi body =
+  let n = hi - lo in
+  if n > 0 then begin
+    let t = resolve pool in
+    let cs, chunks = chunking ?chunk_size n in
+    run_chunks t ~chunks (fun c ->
+        let a = lo + (c * cs) in
+        let b = min hi (a + cs) in
+        for i = a to b - 1 do
+          body i
+        done)
+  end
+
+let map_reduce ?pool ?chunk_size ~lo ~hi ~map ~reduce init =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    let t = resolve pool in
+    let cs, chunks = chunking ?chunk_size n in
+    let slots = Array.make chunks None in
+    run_chunks t ~chunks (fun c ->
+        let a = lo + (c * cs) in
+        let b = min hi (a + cs) in
+        slots.(c) <- Some (map a b));
+    (* deterministic left-to-right fold over chunk results, on the caller *)
+    Array.fold_left
+      (fun acc slot ->
+        match slot with Some v -> reduce acc v | None -> assert false)
+      init slots
+  end

@@ -1,23 +1,32 @@
 module Vector = Kregret_geom.Vector
 module Dataset = Kregret_dataset.Dataset
+module Pool = Kregret_parallel.Pool
 
+(* Each point's verdict is independent of the others', so the O(n^2) scan
+   fans out across the domain pool; verdicts land in disjoint slots of
+   [keep] and the survivor list is rebuilt in index order afterwards, which
+   makes the result identical for every pool width. *)
 let naive points =
   let n = Array.length points in
-  let keep = ref [] in
+  let keep = Array.make n false in
+  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+      let p = points.(i) in
+      let excluded = ref false in
+      (* dominated by anyone, or duplicated by an earlier point *)
+      for j = 0 to n - 1 do
+        if (not !excluded) && j <> i then
+          match Dominance.compare points.(j) p with
+          | Dominance.Dominates -> excluded := true
+          | Dominance.Equal when j < i -> excluded := true
+          | Dominance.Equal | Dominance.Dominated | Dominance.Incomparable ->
+              ()
+      done;
+      keep.(i) <- not !excluded);
+  let out = ref [] in
   for i = n - 1 downto 0 do
-    let p = points.(i) in
-    let excluded = ref false in
-    (* dominated by anyone, or duplicated by an earlier point *)
-    for j = 0 to n - 1 do
-      if (not !excluded) && j <> i then
-        match Dominance.compare points.(j) p with
-        | Dominance.Dominates -> excluded := true
-        | Dominance.Equal when j < i -> excluded := true
-        | Dominance.Equal | Dominance.Dominated | Dominance.Incomparable -> ()
-    done;
-    if not !excluded then keep := i :: !keep
+    if keep.(i) then out := i :: !out
   done;
-  Array.of_list !keep
+  Array.of_list !out
 
 let bnl points =
   let window = ref [] in
@@ -43,15 +52,12 @@ let bnl points =
   Array.sort compare result;
   result
 
-let sfs points =
-  let n = Array.length points in
-  let order = Array.init n Fun.id in
-  let score = Array.map Vector.sum points in
-  Array.sort (fun i j -> compare score.(j) score.(i)) order;
-  (* a point later in this order can never dominate an earlier one, so the
-     window only grows *)
+(* One monotone SFS pass over [idxs] (already in decreasing score order):
+   a point enters the window unless an earlier-window point dominates or
+   equals it. Returns the survivors in scan order. *)
+let sfs_pass points idxs =
   let window = ref [] in
-  Array.iter
+  List.iter
     (fun i ->
       let p = points.(i) in
       let excluded =
@@ -63,8 +69,35 @@ let sfs points =
           !window
       in
       if not excluded then window := i :: !window)
-    order;
-  let result = Array.of_list !window in
+    idxs;
+  List.rev !window
+
+let sfs points =
+  let n = Array.length points in
+  let order = Array.init n Fun.id in
+  let score = Array.map Vector.sum points in
+  (* the sort stays sequential: it is O(n log n) against the O(n * |sky|)
+     filter, and a stable global order is what makes the merge exact *)
+  Array.sort (fun i j -> compare score.(j) score.(i)) order;
+  (* parallel pre-filter: each chunk of the sorted order runs a local SFS
+     pass; the chunks concatenate left-to-right (map_reduce's deterministic
+     reduce), preserving the global score order. Dominance is transitive
+     and "dominates-or-equals an earlier point" composes, so any point a
+     local pass eliminates would also have been eliminated by one of the
+     chunk's survivors — the final sequential pass over the concatenated
+     survivors therefore returns exactly the sequential SFS window. *)
+  let survivors =
+    Pool.map_reduce ~lo:0 ~hi:n
+      ~map:(fun a b ->
+        let idxs = ref [] in
+        for i = b - 1 downto a do
+          idxs := order.(i) :: !idxs
+        done;
+        sfs_pass points !idxs)
+      ~reduce:(fun acc chunk -> acc @ chunk)
+      []
+  in
+  let result = Array.of_list (sfs_pass points survivors) in
   Array.sort compare result;
   result
 

@@ -25,4 +25,5 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("stats-validation", Test_stats.suite);
       ("optimal2d", Test_optimal2d.suite);
+      ("parallel", Test_parallel.suite);
     ]
