@@ -1,0 +1,225 @@
+module Csv_io = Kregret_dataset.Csv_io
+module Dataset = Kregret_dataset.Dataset
+
+let basename inst =
+  Printf.sprintf "repro-s%d-i%d" inst.Instance.seed inst.Instance.id
+
+(* ---- minimal flat JSON ---------------------------------------------------
+
+   The metadata is a flat object of ints, strings and string arrays — we
+   emit and re-read it with ~40 lines instead of a JSON dependency. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  let len = String.length s in
+  while !i < len do
+    (if s.[!i] = '\\' && !i + 1 < len then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' when !i + 5 < len ->
+           (try
+              Buffer.add_char buf
+                (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 2) 4)))
+            with _ -> ());
+           i := !i + 4
+       | c -> Buffer.add_char buf c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+(* locate "key": in [s] and return the offset just past the colon *)
+let find_key s key =
+  let needle = Printf.sprintf "\"%s\"" key in
+  let nlen = String.length needle in
+  let len = String.length s in
+  let rec scan i =
+    if i + nlen > len then None
+    else if String.sub s i nlen = needle then begin
+      (* skip whitespace then ':' *)
+      let j = ref (i + nlen) in
+      while !j < len && (s.[!j] = ' ' || s.[!j] = '\n' || s.[!j] = '\t') do
+        incr j
+      done;
+      if !j < len && s.[!j] = ':' then Some (!j + 1) else scan (i + 1)
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let skip_ws s i =
+  let j = ref i in
+  let len = String.length s in
+  while !j < len && (s.[!j] = ' ' || s.[!j] = '\n' || s.[!j] = '\t') do
+    incr j
+  done;
+  !j
+
+let int_field s key =
+  match find_key s key with
+  | None -> None
+  | Some i ->
+      let i = skip_ws s i in
+      let j = ref i in
+      let len = String.length s in
+      while
+        !j < len && (s.[!j] = '-' || (s.[!j] >= '0' && s.[!j] <= '9'))
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub s i (!j - i))
+
+let string_at s i =
+  let len = String.length s in
+  let i = skip_ws s i in
+  if i >= len || s.[i] <> '"' then None
+  else begin
+    let j = ref (i + 1) in
+    while !j < len && not (s.[!j] = '"' && s.[!j - 1] <> '\\') do
+      incr j
+    done;
+    if !j >= len then None
+    else Some (unescape (String.sub s (i + 1) (!j - i - 1)), !j + 1)
+  end
+
+let string_field s key =
+  match find_key s key with
+  | None -> None
+  | Some i -> Option.map fst (string_at s i)
+
+let string_array_field s key =
+  match find_key s key with
+  | None -> None
+  | Some i ->
+      let i = skip_ws s i in
+      if i >= String.length s || s.[i] <> '[' then None
+      else begin
+        let items = ref [] in
+        let pos = ref (i + 1) in
+        let continue_ = ref true in
+        while !continue_ do
+          let p = skip_ws s !pos in
+          if p >= String.length s || s.[p] = ']' then continue_ := false
+          else if s.[p] = ',' then pos := p + 1
+          else
+            match string_at s p with
+            | Some (item, next) ->
+                items := item :: !items;
+                pos := next
+            | None -> continue_ := false
+        done;
+        Some (List.rev !items)
+      end
+
+(* ---- save ----------------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir ~instance ~failures ~shrink_steps =
+  mkdir_p dir;
+  let base = basename instance in
+  Csv_io.save
+    (Filename.concat dir (base ^ ".csv"))
+    (Instance.to_dataset instance);
+  let checks =
+    List.sort_uniq compare (List.map (fun f -> f.Oracle.check) failures)
+  in
+  let oc = open_out (Filename.concat dir (base ^ ".json")) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let strings l =
+        String.concat ", " (List.map (fun s -> Printf.sprintf "\"%s\"" (escape s)) l)
+      in
+      Printf.fprintf oc "{\n";
+      Printf.fprintf oc "  \"version\": 1,\n";
+      Printf.fprintf oc "  \"campaign_seed\": %d,\n" instance.Instance.seed;
+      Printf.fprintf oc "  \"id\": %d,\n" instance.Instance.id;
+      Printf.fprintf oc "  \"dist\": \"%s\",\n" (escape instance.Instance.dist);
+      Printf.fprintf oc "  \"degeneracies\": [%s],\n"
+        (strings instance.Instance.degeneracies);
+      Printf.fprintf oc "  \"n\": %d,\n" (Instance.n instance);
+      Printf.fprintf oc "  \"d\": %d,\n" (Instance.d instance);
+      Printf.fprintf oc "  \"k\": %d,\n" instance.Instance.k;
+      Printf.fprintf oc "  \"shrink_steps\": %d,\n" shrink_steps;
+      Printf.fprintf oc "  \"checks\": [%s],\n" (strings checks);
+      Printf.fprintf oc "  \"failures\": [%s]\n"
+        (strings (List.map (fun f -> f.Oracle.message) failures));
+      Printf.fprintf oc "}\n");
+  base
+
+(* ---- load ----------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir base =
+  let csv = Filename.concat dir (base ^ ".csv") in
+  let json = Filename.concat dir (base ^ ".json") in
+  if not (Sys.file_exists csv) then failwith (csv ^ ": missing corpus CSV");
+  if not (Sys.file_exists json) then failwith (json ^ ": missing corpus JSON");
+  let meta = read_file json in
+  let need what = function
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing %s" json what)
+  in
+  let k = need "\"k\"" (int_field meta "k") in
+  if k < 1 then failwith (json ^ ": k must be positive");
+  (* normalization is an exact no-op on round-tripped repros (saved points
+     are normalized and %.17g round-trips), and repairs hand-written ones *)
+  let ds = Dataset.normalize (Csv_io.load csv) in
+  {
+    Instance.id = Option.value ~default:0 (int_field meta "id");
+    seed = Option.value ~default:0 (int_field meta "campaign_seed");
+    dist = Option.value ~default:"unknown" (string_field meta "dist");
+    degeneracies =
+      Option.value ~default:[] (string_array_field meta "degeneracies");
+    k;
+    points = ds.Dataset.points;
+  }
+
+let failing_checks ~dir base =
+  let json = Filename.concat dir (base ^ ".json") in
+  if not (Sys.file_exists json) then []
+  else
+    Option.value ~default:[] (string_array_field (read_file json) "checks")
+
+let list ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".json" then begin
+             let base = Filename.chop_suffix f ".json" in
+             if Sys.file_exists (Filename.concat dir (base ^ ".csv")) then
+               Some base
+             else None
+           end
+           else None)
+    |> List.sort compare

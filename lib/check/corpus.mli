@@ -1,0 +1,36 @@
+(** On-disk repro corpus.
+
+    Every shrunk failing instance is persisted as a pair of files in the
+    corpus directory (conventionally [test/corpus/]):
+
+    - [<base>.csv] — the candidate points, in the normal {!Csv_io} dataset
+      format (loadable by the CLI: [kregret validate <base>.csv]);
+    - [<base>.json] — flat metadata: campaign seed, stream id,
+      distribution, degeneracies, [n]/[d]/[k], the violated check names and
+      messages, and the shrink-step count.
+
+    [<base>] is [repro-s<seed>-i<id>], so re-running a deterministic
+    campaign overwrites its own repros instead of accumulating duplicates.
+    Every corpus pair is replayed as a tier-1 regression test
+    ([test/test_corpus.ml]). *)
+
+(** [save ~dir ~instance ~failures ~shrink_steps] writes the pair and
+    returns the basename. Creates [dir] if missing. *)
+val save :
+  dir:string ->
+  instance:Instance.t ->
+  failures:Oracle.failure list ->
+  shrink_steps:int ->
+  string
+
+(** [load ~dir base] reconstructs the instance from [<base>.csv] +
+    [<base>.json]. Raises [Failure] on malformed files. *)
+val load : dir:string -> string -> Instance.t
+
+(** [failing_checks ~dir base] — the check names recorded in the metadata
+    (what the repro originally violated). *)
+val failing_checks : dir:string -> string -> string list
+
+(** [list ~dir] — basenames that have both files, sorted. Missing or empty
+    directories give []. *)
+val list : dir:string -> string list

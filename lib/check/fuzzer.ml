@@ -1,0 +1,110 @@
+module Rng = Kregret_dataset.Rng
+
+type config = {
+  instances : int;
+  seed : int;
+  oracle : Oracle.config;
+  shrink_attempts : int;
+  corpus_dir : string option;
+  log : (string -> unit) option;
+}
+
+let default =
+  {
+    instances = 200;
+    seed = 42;
+    oracle = Oracle.default;
+    shrink_attempts = 400;
+    corpus_dir = None;
+    log = None;
+  }
+
+type failure_report = {
+  original : Instance.t;
+  shrunk : Instance.t;
+  failures : Oracle.failure list;
+  shrink_steps : int;
+  repro : string option;
+}
+
+type summary = { ran : int; failed : failure_report list }
+
+let log cfg fmt =
+  Printf.ksprintf (fun m -> match cfg.log with None -> () | Some f -> f m) fmt
+
+let check_set failures =
+  List.sort_uniq compare (List.map (fun f -> f.Oracle.check) failures)
+
+let handle_failure cfg inst failures =
+  let original_checks = check_set failures in
+  log cfg "FAIL %s: checks [%s]; shrinking..." (Instance.describe inst)
+    (String.concat " " original_checks);
+  (* Shrink against "still violates one of the originally-violated checks"
+     so minimization cannot wander to an unrelated bug. *)
+  let fails cand =
+    let fs = Oracle.check ~config:cfg.oracle cand in
+    List.exists (fun f -> List.mem f.Oracle.check original_checks) fs
+  in
+  let s = Shrink.shrink ~max_attempts:cfg.shrink_attempts ~fails inst in
+  let shrunk_failures = Oracle.check ~config:cfg.oracle s.Shrink.instance in
+  (* keep the original failures if the final re-check raced to empty (it
+     cannot for a deterministic oracle, but stay defensive) *)
+  let shrunk_failures =
+    if shrunk_failures = [] then failures else shrunk_failures
+  in
+  log cfg "shrunk to %s in %d steps (%d oracle calls)"
+    (Instance.describe s.Shrink.instance)
+    s.Shrink.steps s.Shrink.attempts;
+  let repro =
+    match cfg.corpus_dir with
+    | None -> None
+    | Some dir ->
+        let base =
+          Corpus.save ~dir ~instance:s.Shrink.instance
+            ~failures:shrunk_failures ~shrink_steps:s.Shrink.steps
+        in
+        log cfg "persisted repro %s/%s.{csv,json}" dir base;
+        Some base
+  in
+  {
+    original = inst;
+    shrunk = s.Shrink.instance;
+    failures = shrunk_failures;
+    shrink_steps = s.Shrink.steps;
+    repro;
+  }
+
+let run cfg =
+  let master = Rng.create cfg.seed in
+  let failed = ref [] in
+  for id = 0 to cfg.instances - 1 do
+    let inst = Instance.generate ~seed:cfg.seed ~id master in
+    if id mod 50 = 0 then
+      log cfg "instance %d/%d (%s)" id cfg.instances (Instance.describe inst);
+    match Oracle.check ~config:cfg.oracle inst with
+    | [] -> ()
+    | failures -> failed := handle_failure cfg inst failures :: !failed
+  done;
+  { ran = cfg.instances; failed = List.rev !failed }
+
+let pp_summary ppf s =
+  if s.failed = [] then
+    Format.fprintf ppf "fuzz: %d instances, all checks passed@." s.ran
+  else begin
+    Format.fprintf ppf "fuzz: %d instances, %d FAILED@." s.ran
+      (List.length s.failed);
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "@.%s@.  shrunk (%d steps) to: %s@."
+          (Instance.describe r.original) r.shrink_steps
+          (Instance.describe r.shrunk);
+        (match r.repro with
+        | Some base -> Format.fprintf ppf "  repro: %s.{csv,json}@." base
+        | None -> ());
+        List.iter
+          (fun f -> Format.fprintf ppf "  %a@." Oracle.pp_failure f)
+          r.failures)
+      s.failed
+  end
+
+let replay ~dir base = Oracle.check (Corpus.load ~dir base)

@@ -1,0 +1,40 @@
+(** The differential fuzzing campaign driver.
+
+    A campaign is fully determined by [(seed, instances, oracle config)]:
+    the instance stream comes from sequential {!Kregret_dataset.Rng.split}s
+    of one master generator, so the same seed replays the same instances on
+    any machine at any pool width. On a failure the campaign shrinks the
+    instance against the originally-violated checks ({!Shrink}), then
+    persists the minimized repro to the corpus directory ({!Corpus}) for
+    permanent regression coverage. *)
+
+type config = {
+  instances : int;  (** how many instances to generate *)
+  seed : int;  (** campaign master seed *)
+  oracle : Oracle.config;
+  shrink_attempts : int;  (** oracle-call budget per shrink (default 400) *)
+  corpus_dir : string option;  (** where to persist repros; [None] = don't *)
+  log : (string -> unit) option;  (** progress sink (e.g. [prerr_endline]) *)
+}
+
+val default : config
+
+type failure_report = {
+  original : Instance.t;
+  shrunk : Instance.t;
+  failures : Oracle.failure list;  (** of the shrunk instance *)
+  shrink_steps : int;
+  repro : string option;  (** corpus basename, when persisted *)
+}
+
+type summary = { ran : int; failed : failure_report list }
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [run config] executes the campaign. *)
+val run : config -> summary
+
+(** [replay ~dir base] re-checks one corpus repro with the default oracle
+    configuration; [[]] means the underlying bug is fixed (the repro now
+    passes). *)
+val replay : dir:string -> string -> Oracle.failure list

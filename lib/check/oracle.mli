@@ -1,0 +1,48 @@
+(** The differential oracle: every independent way this repository can
+    compute (or bound) the same k-regret quantities, cross-checked on one
+    instance.
+
+    Per instance the oracle verifies (names in brackets are the stable
+    check identifiers used in corpus metadata and by the shrinker):
+
+    - [skyline-agree] — naive O(n²) skyline = SFS skyline (by value);
+    - [lemma3-inclusion] — [D_conv ⊆ D_happy ⊆ D_sky];
+    - [selection-valid] — GeoGreedy/Greedy orders are in-range, distinct,
+      of size ≤ k;
+    - [geo-vs-greedy-mrr] — GeoGreedy mrr = LP-Greedy mrr (tie-tolerant;
+      Lemma 1 says they are the same algorithm);
+    - [stored-prefix] — StoredList's answer at [k] (and at [k/2], against a
+      fresh GeoGreedy run) is exactly the greedy prefix, with matching mrr;
+    - [mrr-monotone-k] — materialized mrr is non-increasing in [k];
+    - [evaluators-agree] — [Mrr.geometric] = [Mrr.lp] on the final
+      selection over the full data;
+    - [sampled-bound] — Monte-Carlo mrr never exceeds the exact value;
+    - [mrr-in-unit] — every reported ratio lies in [0, 1];
+    - [optimal2d] — at [d = 2] the exact DP never loses to either greedy,
+      and its reported optimum is achieved by its reported selection;
+    - [jobs-invariance] — skyline, happy set, GeoGreedy trajectory and the
+      Monte-Carlo estimate are bit-identical at pool widths 1 and
+      [jobs_hi];
+    - [exception] — no component raised.
+
+    All tie comparisons go through {!Tolerance.tie}. *)
+
+type config = {
+  samples : int;  (** Monte-Carlo budget for the sampled-bound check *)
+  jobs_hi : int;
+      (** second pool width for [jobs-invariance]; [<= 1] disables it *)
+}
+
+val default : config
+
+type failure = { check : string; message : string }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [check ?config inst] runs every applicable check; [[]] means the
+    instance passes. Exceptions from components are captured as
+    [exception] failures, never propagated. *)
+val check : ?config:config -> Instance.t -> failure list
+
+(** The stable check identifiers, for documentation and corpus metadata. *)
+val check_names : string list

@@ -1,0 +1,101 @@
+type result = { instance : Instance.t; steps : int; attempts : int }
+
+let snap_grid g points =
+  Array.map
+    (fun p ->
+      Array.map (fun x -> Float.max 1e-6 (Float.round (x *. g) /. g)) p)
+    points
+
+let remove_block points ~off ~len =
+  let n = Array.length points in
+  Array.init (n - len) (fun i -> if i < off then points.(i) else points.(i + len))
+
+let shrink ?(max_attempts = 400) ~fails inst =
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let budget_left () = !attempts < max_attempts in
+  (* one predicate evaluation, within budget *)
+  let try_ cand =
+    if not (budget_left ()) then None
+    else begin
+      incr attempts;
+      if fails cand then Some cand else None
+    end
+  in
+  let accept current cand =
+    incr steps;
+    ignore current;
+    cand
+  in
+  if not (fails inst) then { instance = inst; steps = 0; attempts = 1 }
+  else begin
+    incr attempts;
+    let current = ref inst in
+    let progress = ref true in
+    while !progress && budget_left () do
+      progress := false;
+      (* 1. drop contiguous point blocks, large to small *)
+      let block = ref (max 1 (Instance.n !current / 2)) in
+      while !block >= 1 && budget_left () do
+        let retry = ref true in
+        while !retry && budget_left () do
+          retry := false;
+          let n = Instance.n !current in
+          let len = min !block (n - 1) in
+          if len >= 1 then begin
+            let off = ref 0 in
+            while (not !retry) && !off + len <= n && budget_left () do
+              let cand =
+                Instance.with_points !current
+                  (remove_block !current.Instance.points ~off:!off ~len)
+              in
+              (match try_ cand with
+              | Some c ->
+                  current := accept !current c;
+                  progress := true;
+                  retry := true (* same block size again on the smaller set *)
+              | None -> ());
+              off := !off + len
+            done
+          end
+        done;
+        block := !block / 2
+      done;
+      (* 2. project out dimensions (keep d >= 2) *)
+      let dim = ref 0 in
+      while !dim < Instance.d !current && Instance.d !current > 2 && budget_left () do
+        (match try_ (Instance.drop_dim !current !dim) with
+        | Some c ->
+            current := accept !current c;
+            progress := true
+            (* same [dim] now names the next coordinate *)
+        | None -> incr dim);
+        ()
+      done;
+      (* 3. reduce k *)
+      let continue_k = ref true in
+      while !continue_k && !current.Instance.k > 1 && budget_left () do
+        match try_ (Instance.with_k !current (!current.Instance.k - 1)) with
+        | Some c ->
+            current := accept !current c;
+            progress := true
+        | None -> continue_k := false
+      done;
+      (* 4. snap coordinates to a coarse grid (coarsest that still fails) *)
+      List.iter
+        (fun g ->
+          if budget_left () then
+            match
+              try_
+                (Instance.with_points !current (snap_grid g !current.Instance.points))
+            with
+            | Some c ->
+                if c.Instance.points <> !current.Instance.points then begin
+                  current := accept !current c;
+                  progress := true
+                end
+            | None -> ())
+        [ 4.; 8.; 16. ]
+    done;
+    { instance = !current; steps = !steps; attempts = !attempts }
+  end

@@ -1,0 +1,23 @@
+(** Failing-instance minimization.
+
+    Given an instance on which a predicate fails, greedily search for a
+    smaller one that still fails: drop contiguous blocks of points
+    (ddmin-style, halving block sizes), project out whole dimensions,
+    reduce [k], and snap coordinates to a coarse grid. Deterministic — the
+    same failing instance always shrinks to the same repro.
+
+    The predicate is usually "the oracle still reports a failure of the
+    same check" (see {!Fuzzer}), so shrinking cannot wander from one bug to
+    an unrelated one. *)
+
+type result = {
+  instance : Instance.t;  (** the minimized failing instance *)
+  steps : int;  (** accepted shrink edits *)
+  attempts : int;  (** predicate evaluations spent *)
+}
+
+(** [shrink ~fails inst] minimizes [inst]; [fails inst] must already be
+    [true] (otherwise [inst] is returned unchanged with [steps = 0]).
+    [max_attempts] bounds predicate evaluations (default 400). *)
+val shrink :
+  ?max_attempts:int -> fails:(Instance.t -> bool) -> Instance.t -> result

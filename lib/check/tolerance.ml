@@ -1,0 +1,4 @@
+let tie = 1e-6
+let geom = 1e-9
+let approx_eq a b = abs_float (a -. b) <= tie
+let leq a b = a <= b +. tie

@@ -1,0 +1,24 @@
+(** The single source of truth for the numerical tolerances of every
+    differential check in the repository.
+
+    Two independent evaluators of the same regret quantity (geometric dual
+    vs LP, GeoGreedy vs Greedy, StoredList prefix vs fresh run) agree only
+    up to floating-point ties; [tie] is the one tolerance under which they
+    are considered equal. The fuzzer ({!Fuzzer}), the end-to-end validator
+    ({!Kregret.Validation} via its [?eps] default), and the test suites
+    ([test/testutil.ml]) all compare through this constant — do not
+    introduce per-call-site epsilon literals for mrr/cr agreement. *)
+
+(** Tie tolerance for agreement between independent evaluators of the same
+    regret quantity (mrr, cr). Mirrors DESIGN.md §8's [1e-6]. *)
+val tie : float
+
+(** Geometric slack used for strict-inequality side tests on normalized
+    data (DESIGN.md §8's [1e-9]). *)
+val geom : float
+
+(** [approx_eq a b] — agreement within {!tie}. *)
+val approx_eq : float -> float -> bool
+
+(** [leq a b] — [a <= b] up to {!tie} (for bound checks). *)
+val leq : float -> float -> bool

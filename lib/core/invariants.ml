@@ -1,0 +1,73 @@
+module Vector = Kregret_geom.Vector
+
+let failf fmt = Format.kasprintf (fun m -> [ m ]) fmt
+
+let agree ~eps ~what a b =
+  if abs_float (a -. b) > eps then failf "%s: %.12g disagrees with %.12g (|Δ| = %.3g > %.3g)" what a b (abs_float (a -. b)) eps
+  else []
+
+let at_most ~eps ~what ~hi x =
+  if x > hi +. eps then failf "%s: %.12g exceeds bound %.12g (by %.3g > %.3g)" what x hi (x -. hi) eps
+  else []
+
+let within_unit ~eps ~what x =
+  if x < -.eps || x > 1. +. eps then failf "%s: %.12g outside [0, 1]" what x
+  else []
+
+let monotone_nonincreasing ~eps ~what xs =
+  let rec go i = function
+    | a :: (b :: _ as rest) ->
+        if b > a +. eps then
+          failf "%s: increases at position %d (%.12g -> %.12g, Δ = %.3g > %.3g)"
+            what i a b (b -. a) eps
+        else go (i + 1) rest
+    | _ -> []
+  in
+  go 0 xs
+
+let pp_ints order = String.concat "," (List.map string_of_int order)
+
+let prefix_of ~what ~prefix full =
+  let rec go i p f =
+    match (p, f) with
+    | [], _ -> []
+    | _ :: _, [] ->
+        failf "%s: prefix longer than the full order ([%s] vs [%s])" what
+          (pp_ints prefix) (pp_ints full)
+    | a :: p', b :: f' ->
+        if a <> b then
+          failf "%s: diverges at position %d (%d vs %d; [%s] vs [%s])" what i a
+            b (pp_ints prefix) (pp_ints full)
+        else go (i + 1) p' f'
+  in
+  go 0 prefix full
+
+let valid_selection ~what ~n ~k order =
+  let len = List.length order in
+  let bad_bounds = List.filter (fun i -> i < 0 || i >= n) order in
+  let seen = Hashtbl.create 16 in
+  let dups =
+    List.filter
+      (fun i ->
+        if Hashtbl.mem seen i then true
+        else begin
+          Hashtbl.add seen i ();
+          false
+        end)
+      order
+  in
+  (if len > k then failf "%s: %d selected but k = %d" what len k else [])
+  @ (match bad_bounds with
+    | [] -> []
+    | l -> failf "%s: out-of-range indices [%s] (n = %d)" what (pp_ints l) n)
+  @
+  match dups with
+  | [] -> []
+  | l -> failf "%s: duplicated indices [%s]" what (pp_ints l)
+
+let subset_by_value ~eps ~what smaller ~of_:larger =
+  List.concat_map
+    (fun p ->
+      if List.exists (fun q -> Vector.equal ~eps p q) larger then []
+      else failf "%s: point %s missing from the superset" what (Vector.to_string p))
+    smaller

@@ -1,0 +1,48 @@
+(** Reusable invariant checkers — the primitive assertions behind both
+    {!Validation} (end-to-end pipeline self-test) and the differential
+    fuzzer ([Kregret_check], which layers instance generation and shrinking
+    on top of these).
+
+    Every checker returns a list of human-readable failure messages; the
+    empty list means the invariant holds. Checkers never raise on invariant
+    violations — they describe them — so a caller can accumulate every
+    violated property of an instance in one pass.
+
+    Tolerances are explicit ([~eps]) everywhere: the canonical tie
+    tolerance shared by the fuzzer and the test suites lives in
+    [Kregret_check.Tolerance] (which depends on this library, not the other
+    way around). *)
+
+(** [agree ~eps ~what a b] — two independent evaluations of the same
+    quantity must coincide within [eps]. *)
+val agree : eps:float -> what:string -> float -> float -> string list
+
+(** [at_most ~eps ~what ~hi x] — [x <= hi + eps] ([x] is claimed to be a
+    lower bound of, or dominated by, [hi]). *)
+val at_most : eps:float -> what:string -> hi:float -> float -> string list
+
+(** [within_unit ~eps ~what x] — [x] is a regret ratio: [0 - eps <= x <= 1
+    + eps]. *)
+val within_unit : eps:float -> what:string -> float -> string list
+
+(** [monotone_nonincreasing ~eps ~what xs] — e.g. mrr as a function of [k];
+    each element may exceed its predecessor by at most [eps]. *)
+val monotone_nonincreasing : eps:float -> what:string -> float list -> string list
+
+(** [prefix_of ~what ~prefix full] — [prefix] is exactly the first
+    [List.length prefix] elements of [full] (StoredList prefix property). *)
+val prefix_of : what:string -> prefix:int list -> int list -> string list
+
+(** [valid_selection ~what ~n ~k order] — indices in bounds, pairwise
+    distinct, and at most [k] of them. *)
+val valid_selection : what:string -> n:int -> k:int -> int list -> string list
+
+(** [subset_by_value ~eps ~what smaller ~of_:larger] — every point of
+    [smaller] occurs (coordinate-wise within [eps]) in [larger]; the
+    Lemma-3 inclusion checks [D_conv ⊆ D_happy ⊆ D_sky]. *)
+val subset_by_value :
+  eps:float ->
+  what:string ->
+  Kregret_geom.Vector.t list ->
+  of_:Kregret_geom.Vector.t list ->
+  string list

@@ -13,7 +13,9 @@
     - {!Optimal2d} — exact optimum in two dimensions (DP).
     - {!Mrr} — evaluate the maximum regret ratio of any selection.
     - {!Average_regret}, {!Interactive} — the paper's future-work directions.
-    - {!Validation} — end-to-end consistency checks.
+    - {!Validation} — end-to-end consistency checks, built on the
+      {!Invariants} checkers shared with the differential fuzzer
+      ([Kregret_check]).
     - {!Toy} — the paper's worked car example.
 
     Candidate-set preprocessing (skyline, happy points) lives in the
@@ -31,5 +33,6 @@ module Optimal2d = Optimal2d
 module Average_regret = Average_regret
 module Interactive = Interactive
 module Query = Query
+module Invariants = Invariants
 module Validation = Validation
 module Toy = Toy

@@ -16,49 +16,55 @@ type report = {
   failures : string list;
 }
 
+(* The individual assertions live in {!Invariants} so the differential
+   fuzzer ([Kregret_check]) checks exactly the same properties on its random
+   instances that [kregret validate] checks on a user's dataset. *)
 let run ?(samples = 10_000) ?(eps = 1e-6) ds ~k =
   let failures = ref [] in
-  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  let record msgs = failures := !failures @ msgs in
   let sky = Skyline.of_dataset ds in
   let happy_idx = Happy.happy_points sky.Dataset.points in
   let happy = Dataset.sub sky ~indices:happy_idx in
   (* Lemma 3 inclusion (happy is computed within the skyline, so only the
      size relation and membership need checking here) *)
   if Dataset.size happy > Dataset.size sky then
-    fail "happy tier larger than skyline";
-  Array.iter
-    (fun p ->
-      if
-        not
-          (Array.exists (fun q -> Vector.equal ~eps:0. p q) sky.Dataset.points)
-      then fail "happy point missing from the skyline")
-    happy.Dataset.points;
+    record [ "happy tier larger than skyline" ];
+  record
+    (Invariants.subset_by_value ~eps:0. ~what:"Lemma 3: D_happy within D_sky"
+       (Dataset.to_list happy) ~of_:(Dataset.to_list sky));
   let points = happy.Dataset.points in
   let geo = Geo_greedy.run ~points ~k () in
   let lp = Greedy_lp.run ~points ~k () in
-  if abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) > eps then
-    fail "GeoGreedy mrr %.8f disagrees with Greedy mrr %.8f" geo.Geo_greedy.mrr
-      lp.Greedy_lp.mrr;
+  record
+    (Invariants.agree ~eps ~what:"GeoGreedy mrr vs Greedy mrr"
+       geo.Geo_greedy.mrr lp.Greedy_lp.mrr);
+  record
+    (Invariants.valid_selection ~what:"GeoGreedy selection"
+       ~n:(Array.length points) ~k geo.Geo_greedy.order);
   let sl = Stored_list.preprocess ~max_length:(max k 8) points in
   let stored_mrr = Stored_list.mrr_at sl ~k in
-  if Stored_list.query sl ~k <> geo.Geo_greedy.order then
-    fail "StoredList prefix differs from GeoGreedy order";
-  if abs_float (stored_mrr -. geo.Geo_greedy.mrr) > eps then
-    fail "StoredList mrr %.8f disagrees with GeoGreedy mrr %.8f" stored_mrr
-      geo.Geo_greedy.mrr;
+  record
+    (Invariants.prefix_of ~what:"StoredList prefix vs GeoGreedy order"
+       ~prefix:(Stored_list.query sl ~k) geo.Geo_greedy.order);
+  record
+    (Invariants.agree ~eps ~what:"StoredList mrr vs GeoGreedy mrr" stored_mrr
+       geo.Geo_greedy.mrr);
   let selected = List.map (fun i -> points.(i)) geo.Geo_greedy.order in
   let data = Dataset.to_list ds in
   let exact_over_full = Mrr.geometric ~data ~selected in
   let lp_over_full = Mrr.lp ~data ~selected in
-  if abs_float (exact_over_full -. lp_over_full) > eps then
-    fail "geometric evaluator %.8f disagrees with LP evaluator %.8f"
-      exact_over_full lp_over_full;
+  record
+    (Invariants.agree ~eps ~what:"geometric evaluator vs LP evaluator"
+       exact_over_full lp_over_full);
+  record
+    (Invariants.within_unit ~eps ~what:"geometric mrr over the full data"
+       exact_over_full);
   let sampled_lower_bound =
     Mrr.sampled ~rng:(Rng.create 0xA11CE) ~samples ~data ~selected
   in
-  if sampled_lower_bound > exact_over_full +. eps then
-    fail "sampled regret %.8f exceeds the exact value %.8f" sampled_lower_bound
-      exact_over_full;
+  record
+    (Invariants.at_most ~eps ~what:"sampled regret vs the exact value"
+       ~hi:exact_over_full sampled_lower_bound);
   {
     candidates = Dataset.size happy;
     skyline = Dataset.size sky;
@@ -68,7 +74,7 @@ let run ?(samples = 10_000) ?(eps = 1e-6) ds ~k =
     exact_over_full;
     sampled_lower_bound;
     ok = !failures = [];
-    failures = List.rev !failures;
+    failures = !failures;
   }
 
 let pp_report ppf r =

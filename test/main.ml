@@ -26,4 +26,10 @@ let () =
       ("stats-validation", Test_stats.suite);
       ("optimal2d", Test_optimal2d.suite);
       ("parallel", Test_parallel.suite);
+      ("stored-list", Test_stored_list.suite);
+      ("validation", Test_validation.suite);
+      ("average-regret", Test_average_regret.suite);
+      ("csv-io", Test_csv_io.suite);
+      ("check", Test_check.suite);
+      ("corpus", Test_corpus.suite);
     ]

@@ -1,0 +1,115 @@
+(* Average_regret coverage (satellite of the fuzzing PR), complementing the
+   behavioural spot-checks in test_extensions.ml: bounds relating average to
+   worst-case regret, monotonicity under set growth, determinism of the
+   direction sample, and greedy-result invariants. *)
+
+open Testutil
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Average_regret = Kregret.Average_regret
+module Mrr = Kregret.Mrr
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+let test_average_bounded_by_mrr () =
+  (* the mean of rr over sampled directions can never exceed the maximum
+     over all directions: 0 <= avg <= mrr for any selection *)
+  let ds = anti 50 3 31 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare ~seed:1 points in
+  let data = Dataset.to_list ds in
+  List.iter
+    (fun idxs ->
+      let selected = List.map (fun i -> points.(i)) idxs in
+      let avg = Average_regret.average_regret ctx selected in
+      let mrr = Mrr.geometric ~data ~selected in
+      Alcotest.(check bool)
+        (Printf.sprintf "0 <= avg (%g)" avg)
+        true (avg >= 0.);
+      Alcotest.(check bool)
+        (Printf.sprintf "avg (%g) <= mrr (%g)" avg mrr)
+        true
+        (avg <= mrr +. float_eps))
+    [ [ 0 ]; [ 0; 1 ]; [ 0; 1; 2; 3; 4 ]; List.init 20 Fun.id ]
+
+let test_average_monotone_in_selection () =
+  (* adding points can only lower the average regret (per-direction maxima
+     are monotone, the sample is fixed) *)
+  let ds = anti 60 4 32 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare ~seed:2 points in
+  let sel n = List.init n (fun i -> points.(i)) in
+  let prev = ref infinity in
+  List.iter
+    (fun n ->
+      let avg = Average_regret.average_regret ctx (sel n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "avg non-increasing at n=%d" n)
+        true
+        (avg <= !prev +. float_eps);
+      prev := avg)
+    [ 1; 2; 5; 10; 30; 60 ];
+  check_float ~eps:0. "full selection has zero average regret" 0.
+    (Average_regret.average_regret ctx (Array.to_list points))
+
+let test_prepare_deterministic () =
+  let ds = anti 40 3 33 in
+  let points = ds.Dataset.points in
+  let a = Average_regret.prepare ~seed:7 ~directions:256 points in
+  let b = Average_regret.prepare ~seed:7 ~directions:256 points in
+  let sel = [ points.(0); points.(3) ] in
+  check_float ~eps:0. "same seed, same average"
+    (Average_regret.average_regret a sel)
+    (Average_regret.average_regret b sel)
+
+let test_greedy_result_invariants () =
+  let ds = anti 60 3 34 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare ~seed:3 points in
+  let k = 6 in
+  let r = Average_regret.greedy ctx ~points ~k () in
+  let order = r.Average_regret.order in
+  Alcotest.(check bool) "selection size within k" true
+    (List.length order >= 1 && List.length order <= k);
+  Alcotest.(check bool) "indices valid and distinct" true
+    (List.for_all (fun i -> i >= 0 && i < Array.length points) order
+    && List.length (List.sort_uniq compare order) = List.length order);
+  let selected = List.map (fun i -> points.(i)) order in
+  check_float ~eps:0. "reported avg_regret matches re-evaluation"
+    (Average_regret.average_regret ctx selected)
+    r.Average_regret.avg_regret;
+  check_float ~eps:0. "reported mrr matches the geometric evaluator"
+    (Mrr.geometric ~data:(Dataset.to_list ds) ~selected)
+    r.Average_regret.mrr;
+  Alcotest.(check bool) "avg_regret <= mrr" true
+    (r.Average_regret.avg_regret <= r.Average_regret.mrr +. float_eps)
+
+let test_greedy_monotone_in_k () =
+  let ds = anti 50 3 35 in
+  let points = ds.Dataset.points in
+  let ctx = Average_regret.prepare ~seed:4 points in
+  let avg_at k =
+    (Average_regret.greedy ctx ~points ~k ()).Average_regret.avg_regret
+  in
+  let a3 = avg_at 3 and a6 = avg_at 6 and a10 = avg_at 10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "k=6 (%g) no worse than k=3 (%g)" a6 a3)
+    true (a6 <= a3 +. float_eps);
+  Alcotest.(check bool)
+    (Printf.sprintf "k=10 (%g) no worse than k=6 (%g)" a10 a6)
+    true (a10 <= a6 +. float_eps)
+
+let suite =
+  [
+    Alcotest.test_case "average regret in [0, mrr]" `Quick
+      test_average_bounded_by_mrr;
+    Alcotest.test_case "average regret monotone in the selection" `Quick
+      test_average_monotone_in_selection;
+    Alcotest.test_case "direction sample is deterministic" `Quick
+      test_prepare_deterministic;
+    Alcotest.test_case "greedy result invariants" `Quick
+      test_greedy_result_invariants;
+    Alcotest.test_case "greedy improves with k" `Quick
+      test_greedy_monotone_in_k;
+  ]

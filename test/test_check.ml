@@ -1,0 +1,265 @@
+(* The fuzzing subsystem itself: deterministic instance streams, a clean
+   in-process smoke campaign, shrinker minimality on a synthetic bug, and
+   corpus round-tripping. (The end-to-end "seed a real bug, get a repro"
+   drill lives in the corpus: test_corpus.ml replays repros minted against
+   a deliberately broken Dd dedup.) *)
+
+open Testutil
+module Rng = Kregret_dataset.Rng
+module Instance = Kregret_check.Instance
+module Oracle = Kregret_check.Oracle
+module Shrink = Kregret_check.Shrink
+module Corpus = Kregret_check.Corpus
+module Fuzzer = Kregret_check.Fuzzer
+module Tolerance = Kregret_check.Tolerance
+
+let stream ~seed count =
+  let master = Rng.create seed in
+  List.init count (fun id -> Instance.generate ~seed ~id master)
+
+let test_stream_deterministic () =
+  let a = stream ~seed:42 40 and b = stream ~seed:42 40 in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d identical" x.Instance.id)
+        true
+        (x.Instance.points = y.Instance.points
+        && x.Instance.k = y.Instance.k
+        && x.Instance.dist = y.Instance.dist
+        && x.Instance.degeneracies = y.Instance.degeneracies))
+    a b;
+  let c = stream ~seed:43 40 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (List.exists2 (fun x y -> x.Instance.points <> y.Instance.points) a c)
+
+let test_stream_covers_spec () =
+  (* the generator must actually exercise the advertised envelope *)
+  let insts = stream ~seed:7 300 in
+  let dims = List.sort_uniq compare (List.map Instance.d insts) in
+  Alcotest.(check (list int)) "dims 2..7 all drawn" [ 2; 3; 4; 5; 6; 7 ] dims;
+  Alcotest.(check bool) "singleton instances drawn" true
+    (List.exists (fun i -> Instance.n i = 1) insts);
+  Alcotest.(check bool) "large instances drawn" true
+    (List.exists (fun i -> Instance.n i > 200) insts);
+  Alcotest.(check bool) "k beyond n drawn (clamping paths)" true
+    (List.exists (fun i -> i.Instance.k > Instance.n i) insts);
+  Alcotest.(check bool) "degenerate instances drawn" true
+    (List.exists (fun i -> i.Instance.degeneracies <> []) insts);
+  (* every instance is normalized: coordinates in (0,1], every dimension
+     touching 1 *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "instance %d normalized" i.Instance.id)
+        true
+        (Kregret_dataset.Dataset.is_normalized ~eps:1e-9
+           (Instance.to_dataset i)))
+    insts
+
+let test_smoke_campaign_clean () =
+  (* a small in-process campaign on the real oracle must find nothing *)
+  let summary =
+    Fuzzer.run
+      {
+        Fuzzer.default with
+        Fuzzer.instances = 40;
+        seed = 20140331;
+        oracle = { Oracle.samples = 192; jobs_hi = 2 };
+      }
+  in
+  Alcotest.(check int) "ran all instances" 40 summary.Fuzzer.ran;
+  (match summary.Fuzzer.failed with
+  | [] -> ()
+  | r :: _ ->
+      Alcotest.failf "campaign found a failure on %s: %s"
+        (Instance.describe r.Fuzzer.shrunk)
+        (String.concat "; "
+           (List.map (fun f -> f.Oracle.message) r.Fuzzer.failures)));
+  (* campaigns are replayable: same config, same outcome *)
+  let again =
+    Fuzzer.run
+      {
+        Fuzzer.default with
+        Fuzzer.instances = 40;
+        seed = 20140331;
+        oracle = { Oracle.samples = 192; jobs_hi = 2 };
+      }
+  in
+  Alcotest.(check int) "replayed" 40 again.Fuzzer.ran
+
+(* ---- shrinker ------------------------------------------------------------- *)
+
+let test_shrink_minimizes_synthetic_bug () =
+  (* synthetic bug: "fails whenever >= 3 points have first coordinate
+     > 0.55" — the shrinker should cut a 60-point 5-d instance down to
+     (close to) the 3 witnesses, d = 2, k = 1 *)
+  let master = Rng.create 99 in
+  let inst = ref (Instance.generate ~seed:99 ~id:0 master) in
+  while
+    Instance.n !inst < 40
+    || Array.length
+         (Array.of_list
+            (List.filter
+               (fun p -> p.(0) > 0.55)
+               (Array.to_list !inst.Instance.points)))
+       < 3
+  do
+    inst := Instance.generate ~seed:99 ~id:(!inst.Instance.id + 1) master
+  done;
+  let fails i =
+    Array.fold_left
+      (fun acc p -> if p.(0) > 0.55 then acc + 1 else acc)
+      0 i.Instance.points
+    >= 3
+  in
+  Alcotest.(check bool) "starting instance fails" true (fails !inst);
+  let r = Shrink.shrink ~fails !inst in
+  Alcotest.(check bool) "shrunk instance still fails" true
+    (fails r.Shrink.instance);
+  Alcotest.(check bool)
+    (Printf.sprintf "minimized to %d points (<= 4)" (Instance.n r.Shrink.instance))
+    true
+    (Instance.n r.Shrink.instance <= 4);
+  Alcotest.(check int) "dimensions projected away" 2 (Instance.d r.Shrink.instance);
+  Alcotest.(check int) "k reduced to 1" 1 r.Shrink.instance.Instance.k;
+  Alcotest.(check bool) "budget respected" true (r.Shrink.attempts <= 400)
+
+let test_shrink_passing_instance_unchanged () =
+  let master = Rng.create 5 in
+  let inst = Instance.generate ~seed:5 ~id:0 master in
+  let r = Shrink.shrink ~fails:(fun _ -> false) inst in
+  Alcotest.(check int) "no steps" 0 r.Shrink.steps;
+  Alcotest.(check bool) "instance returned as-is" true
+    (r.Shrink.instance.Instance.points == inst.Instance.points)
+
+let test_shrink_deterministic () =
+  let master = Rng.create 123 in
+  let inst = ref (Instance.generate ~seed:123 ~id:0 master) in
+  while Instance.n !inst < 30 do
+    inst := Instance.generate ~seed:123 ~id:(!inst.Instance.id + 1) master
+  done;
+  let fails i = Instance.n i >= 2 && Instance.d i >= 2 in
+  let a = Shrink.shrink ~fails !inst and b = Shrink.shrink ~fails !inst in
+  Alcotest.(check bool) "same minimum" true
+    (a.Shrink.instance.Instance.points = b.Shrink.instance.Instance.points);
+  Alcotest.(check int) "same steps" a.Shrink.steps b.Shrink.steps
+
+(* ---- corpus --------------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "kregret-corpus-%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_corpus_round_trip () =
+  with_temp_dir @@ fun dir ->
+  let master = Rng.create 77 in
+  let inst = Instance.generate ~seed:77 ~id:3 master in
+  let failures =
+    [
+      { Oracle.check = "geo-vs-greedy-mrr"; message = "mrr \"drift\" Δ=0.1" };
+      { Oracle.check = "sampled-bound"; message = "line1\nline2" };
+    ]
+  in
+  let base = Corpus.save ~dir ~instance:inst ~failures ~shrink_steps:7 in
+  Alcotest.(check (list string)) "listed" [ base ] (Corpus.list ~dir);
+  let loaded = Corpus.load ~dir base in
+  Alcotest.(check bool) "points bit-identical" true
+    (loaded.Instance.points = inst.Instance.points);
+  Alcotest.(check int) "k preserved" inst.Instance.k loaded.Instance.k;
+  Alcotest.(check int) "id preserved" inst.Instance.id loaded.Instance.id;
+  Alcotest.(check int) "seed preserved" inst.Instance.seed loaded.Instance.seed;
+  Alcotest.(check string) "dist preserved" inst.Instance.dist loaded.Instance.dist;
+  Alcotest.(check (list string))
+    "degeneracies preserved" inst.Instance.degeneracies
+    loaded.Instance.degeneracies;
+  Alcotest.(check (list string))
+    "violated checks recorded (sorted, deduped)"
+    [ "geo-vs-greedy-mrr"; "sampled-bound" ]
+    (Corpus.failing_checks ~dir base)
+
+let test_corpus_missing_dir () =
+  Alcotest.(check (list string)) "missing dir lists nothing" []
+    (Corpus.list ~dir:"/nonexistent/kregret-corpus")
+
+let test_corpus_rejects_malformed () =
+  with_temp_dir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let write name content =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc content;
+    close_out oc
+  in
+  write "bad.csv" "# name=bad dim=2 n=1\n0.5,1\n";
+  write "bad.json" "{ \"version\": 1 }\n";
+  let rejected =
+    try
+      ignore (Corpus.load ~dir "bad");
+      false
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "missing k rejected" true rejected
+
+(* ---- oracle ---------------------------------------------------------------- *)
+
+let test_oracle_catches_exceptions () =
+  (* a malformed instance (k < 1 smuggled around with_k) must surface as an
+     "exception" failure, not escape *)
+  let master = Rng.create 11 in
+  let inst = Instance.generate ~seed:11 ~id:0 master in
+  let broken = { inst with Instance.k = -3 } in
+  match Oracle.check broken with
+  | [ { Oracle.check = "exception"; _ } ] -> ()
+  | other ->
+      Alcotest.failf "expected one exception failure, got %d: %s"
+        (List.length other)
+        (String.concat "; " (List.map (fun f -> f.Oracle.check) other))
+
+let test_tolerance_constants () =
+  check_float ~eps:0. "tie is the DESIGN.md §8 agreement tolerance" 1e-6
+    Tolerance.tie;
+  check_float ~eps:0. "geom is the DESIGN.md §8 geometric slack" 1e-9
+    Tolerance.geom;
+  Alcotest.(check bool) "approx_eq within tie" true
+    (Tolerance.approx_eq 0.5 (0.5 +. (0.5 *. Tolerance.tie)));
+  Alcotest.(check bool) "approx_eq beyond tie" false
+    (Tolerance.approx_eq 0.5 (0.5 +. (3. *. Tolerance.tie)));
+  Alcotest.(check bool) "leq allows tie slack" true
+    (Tolerance.leq (0.5 +. (0.5 *. Tolerance.tie)) 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "instance stream is deterministic" `Quick
+      test_stream_deterministic;
+    Alcotest.test_case "instance stream covers the spec envelope" `Quick
+      test_stream_covers_spec;
+    Alcotest.test_case "smoke campaign finds nothing on correct code" `Slow
+      test_smoke_campaign_clean;
+    Alcotest.test_case "shrinker minimizes a synthetic bug" `Quick
+      test_shrink_minimizes_synthetic_bug;
+    Alcotest.test_case "shrinker leaves passing instances alone" `Quick
+      test_shrink_passing_instance_unchanged;
+    Alcotest.test_case "shrinker is deterministic" `Quick
+      test_shrink_deterministic;
+    Alcotest.test_case "corpus round-trips instances" `Quick
+      test_corpus_round_trip;
+    Alcotest.test_case "corpus tolerates a missing directory" `Quick
+      test_corpus_missing_dir;
+    Alcotest.test_case "corpus rejects malformed metadata" `Quick
+      test_corpus_rejects_malformed;
+    Alcotest.test_case "oracle captures component exceptions" `Quick
+      test_oracle_catches_exceptions;
+    Alcotest.test_case "tolerance constants pinned" `Quick
+      test_tolerance_constants;
+  ]

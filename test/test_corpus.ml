@@ -1,0 +1,56 @@
+(* Corpus replay: every shrunk repro the fuzzer ever persisted to
+   test/corpus/ is re-checked against the full differential oracle on every
+   test run. A failure here means a previously-caught bug regressed.
+
+   The corpus directory is attached to the test's dune dependencies via
+   (source_tree corpus), so the files are visible from the sandboxed test
+   cwd. *)
+
+module Corpus = Kregret_check.Corpus
+module Fuzzer = Kregret_check.Fuzzer
+module Oracle = Kregret_check.Oracle
+module Instance = Kregret_check.Instance
+
+let corpus_dir = "corpus"
+
+let replay_case base =
+  Alcotest.test_case base `Quick (fun () ->
+      match Fuzzer.replay ~dir:corpus_dir base with
+      | [] -> ()
+      | failures ->
+          Alcotest.failf "repro %s regressed:@.%s" base
+            (String.concat "\n"
+               (List.map
+                  (fun f -> Format.asprintf "  %a" Oracle.pp_failure f)
+                  failures)))
+
+let test_corpus_not_empty () =
+  (* the pinned seeds must be present: an empty corpus here would mean the
+     replay suite silently checks nothing *)
+  let bases = Corpus.list ~dir:corpus_dir in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus has pinned repros (found %d)" (List.length bases))
+    true
+    (List.length bases >= 4)
+
+let test_metadata_readable () =
+  List.iter
+    (fun base ->
+      let inst = Corpus.load ~dir:corpus_dir base in
+      Alcotest.(check bool)
+        (base ^ ": positive k")
+        true (inst.Instance.k >= 1);
+      Alcotest.(check bool)
+        (base ^ ": d >= 2")
+        true
+        (Instance.d inst >= 2);
+      Alcotest.(check bool)
+        (base ^ ": records violated checks")
+        true
+        (Corpus.failing_checks ~dir:corpus_dir base <> []))
+    (Corpus.list ~dir:corpus_dir)
+
+let suite =
+  Alcotest.test_case "corpus present" `Quick test_corpus_not_empty
+  :: Alcotest.test_case "metadata readable" `Quick test_metadata_readable
+  :: List.map replay_case (Corpus.list ~dir:corpus_dir)

@@ -20,7 +20,7 @@ let vertex_set t =
 let approx_same_sets a b =
   List.length a = List.length b
   && List.for_all2
-       (fun u v -> List.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) u v)
+       (fun u v -> List.for_all2 (fun x y -> abs_float (x -. y) < float_eps) u v)
        a b
 
 let test_order_independence () =
@@ -83,7 +83,7 @@ let test_contains_vs_constraints () =
   for _ = 1 to 200 do
     let w = Array.init 3 (fun _ -> Random.State.float st 1.5) in
     let manual =
-      Vector.is_nonneg ~eps:1e-9 w
+      Vector.is_nonneg ~eps:geom_eps w
       && List.for_all (fun (a, b) -> Vector.dot a w <= b +. 1e-7) cons
       && Array.for_all (fun x -> x <= 2. +. 1e-7) w
     in
@@ -107,7 +107,7 @@ let test_support_vs_lp_dim_sweep () =
         let q = random_point st d in
         let geo = Dual_polytope.critical_ratio dp q in
         let lp, _ = Regret_lp.critical_ratio ~selected q in
-        check_float ~eps:1e-6 (Printf.sprintf "cr d=%d" d) lp geo
+        check_float ~eps:float_eps (Printf.sprintf "cr d=%d" d) lp geo
       done)
     [ 2; 3; 4; 5; 6; 7 ]
 
@@ -173,7 +173,7 @@ let suite =
           (fun p ->
             ignore (Dd.add_constraint t ~normal:p ~offset:1.);
             let _, m = Dd.max_dot t q in
-            let ok = m <= !prev +. 1e-9 in
+            let ok = m <= !prev +. geom_eps in
             prev := m;
             ok)
           pts);

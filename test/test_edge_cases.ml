@@ -85,7 +85,7 @@ let test_high_dimension_dd () =
   let lp, _ =
     Kregret_lp.Regret_lp.critical_ratio ~selected:(boundary @ extra) q
   in
-  check_float ~eps:1e-6 "d=9 cr agreement" lp geometric
+  check_float ~eps:float_eps "d=9 cr agreement" lp geometric
 
 let test_tiny_coordinates () =
   (* values at the normalization floor stress the epsilon policy *)
@@ -94,7 +94,7 @@ let test_tiny_coordinates () =
   in
   let geo = Geo_greedy.run ~points ~k:3 () in
   let lp = Greedy_lp.run ~points ~k:3 () in
-  check_float ~eps:1e-6 "tiny coords: geo = lp" lp.Greedy_lp.mrr geo.Geo_greedy.mrr
+  check_float ~eps:float_eps "tiny coords: geo = lp" lp.Greedy_lp.mrr geo.Geo_greedy.mrr
 
 let test_near_duplicate_jitter () =
   (* clusters of near-identical points: champion reassignment must not lose
@@ -102,7 +102,7 @@ let test_near_duplicate_jitter () =
   let st = test_rng 31337 in
   let base = random_points st ~n:6 ~d:3 in
   let jitter p =
-    Array.map (fun x -> Float.min 1. (x +. (1e-9 *. Random.State.float st 1.))) p
+    Array.map (fun x -> Float.min 1. (x +. (geom_eps *. Random.State.float st 1.))) p
   in
   let points =
     Array.of_list

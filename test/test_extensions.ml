@@ -16,7 +16,7 @@ let test_avg_bounds () =
   let points = ds.Dataset.points in
   let ctx = Average_regret.prepare points in
   let all = Array.to_list points in
-  check_float ~eps:1e-9 "full selection has zero average regret" 0.
+  check_float ~eps:geom_eps "full selection has zero average regret" 0.
     (Average_regret.average_regret ctx all);
   let single = [ points.(0) ] in
   let avg = Average_regret.average_regret ctx single in
@@ -103,7 +103,7 @@ let test_interactive_bound_sound () =
         (Printf.sprintf "true %.4f <= bound %.4f + eps" r.Interactive.true_regret
            last.Interactive.regret_bound)
         true
-        (r.Interactive.true_regret <= last.Interactive.regret_bound +. 1e-6)
+        (r.Interactive.true_regret <= last.Interactive.regret_bound +. float_eps)
 
 let test_interactive_axis_utility () =
   (* a user who only cares about one dimension should end up with (a point
@@ -113,13 +113,13 @@ let test_interactive_axis_utility () =
   let utility = [| 1.; 0.; 0. |] in
   let r = Interactive.simulate ~points ~utility () in
   let best = Array.fold_left (fun acc p -> Float.max acc p.(0)) 0. points in
-  check_float ~eps:1e-6 "recommendation maximizes dim 0" best
+  check_float ~eps:float_eps "recommendation maximizes dim 0" best
     points.(r.Interactive.recommendation).(0)
 
 let test_interactive_few_candidates () =
   let points = [| [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.7; 0.7 |] |] in
   let r = Interactive.simulate ~points ~utility:[| 0.6; 0.4 |] () in
-  check_float ~eps:1e-9 "exact answer on tiny input" 0. r.Interactive.true_regret
+  check_float ~eps:geom_eps "exact answer on tiny input" 0. r.Interactive.true_regret
 
 let suite =
   [
@@ -149,7 +149,7 @@ let suite =
         in
         (* soundness: the recommendation's true regret never exceeds the
            provable bound of the final round *)
-        r.Interactive.true_regret <= final_bound +. 1e-6);
+        r.Interactive.true_regret <= final_bound +. float_eps);
   ]
 
 (* appended edge-case tests *)
@@ -159,7 +159,7 @@ let test_interactive_display_exceeds_candidates () =
   let r = Interactive.simulate ~display:10 ~points ~utility:[| 0.5; 0.5 |] () in
   (* one question suffices: everything shown at once *)
   Alcotest.(check int) "one question" 1 r.Interactive.questions;
-  check_float ~eps:1e-9 "exact" 0. r.Interactive.true_regret
+  check_float ~eps:geom_eps "exact" 0. r.Interactive.true_regret
 
 let test_interactive_rejects_small_display () =
   Alcotest.check_raises "display >= 2"

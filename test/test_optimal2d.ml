@@ -39,12 +39,12 @@ let test_matches_brute_force () =
     let points = normalized_random st ~n in
     let dp = Optimal2d.solve ~points ~k () in
     let bf = brute_force points k in
-    check_float ~eps:1e-6
+    check_float ~eps:float_eps
       (Printf.sprintf "optimal (n=%d k=%d)" n k)
       bf dp.Optimal2d.mrr;
     (* the reported selection must actually achieve the reported value *)
     let selected = List.map (fun i -> points.(i)) dp.Optimal2d.order in
-    check_float ~eps:1e-6 "selection achieves it"
+    check_float ~eps:float_eps "selection achieves it"
       dp.Optimal2d.mrr
       (Mrr.geometric ~data:(Array.to_list points) ~selected)
   done
@@ -73,7 +73,7 @@ let test_greedy_vs_optimal_quality () =
       (Printf.sprintf "optimal %.4f <= greedy %.4f" opt.Optimal2d.mrr
          geo.Geo_greedy.mrr)
       true
-      (opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. 1e-9);
+      (opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. geom_eps);
     if geo.Geo_greedy.mrr > 1e-12 then
       worst_ratio := Float.max !worst_ratio (geo.Geo_greedy.mrr /. Float.max opt.Optimal2d.mrr 1e-12)
   done
@@ -82,13 +82,13 @@ let test_full_selection_zero () =
   let st = test_rng 810 in
   let points = normalized_random st ~n:15 in
   let dp = Optimal2d.solve ~points ~k:15 () in
-  check_float ~eps:1e-9 "whole skyline gives zero regret" 0. dp.Optimal2d.mrr
+  check_float ~eps:geom_eps "whole skyline gives zero regret" 0. dp.Optimal2d.mrr
 
 let test_k1 () =
   let points = [| [| 1.; 0.2 |]; [| 0.2; 1. |]; [| 0.8; 0.8 |] |] in
   let dp = Optimal2d.solve ~points ~k:1 () in
   Alcotest.(check int) "one point" 1 (List.length dp.Optimal2d.order);
-  check_float ~eps:1e-6 "matches brute force" (brute_force points 1) dp.Optimal2d.mrr
+  check_float ~eps:float_eps "matches brute force" (brute_force points 1) dp.Optimal2d.mrr
 
 let test_rejects_bad_input () =
   Alcotest.check_raises "3-D rejected"
@@ -120,7 +120,7 @@ let suite =
         let geo = Geo_greedy.run ~points ~k () in
         let sel = List.map (fun i -> points.(i)) opt.Optimal2d.order in
         let recomputed = Mrr.geometric ~data:(Array.to_list points) ~selected:sel in
-        opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. 1e-9
-        && abs_float (recomputed -. opt.Optimal2d.mrr) < 1e-6
+        opt.Optimal2d.mrr <= geo.Geo_greedy.mrr +. geom_eps
+        && abs_float (recomputed -. opt.Optimal2d.mrr) < float_eps
         && List.length opt.Optimal2d.order <= k);
   ]

@@ -46,12 +46,12 @@ let test_evaluators_agree () =
   in
   let g = Mrr.geometric ~data ~selected in
   let l = Mrr.lp ~data ~selected in
-  check_float ~eps:1e-6 "geometric = lp" l g;
+  check_float ~eps:float_eps "geometric = lp" l g;
   let s = Mrr.sampled ~rng:(Rng.create 1) ~samples:3000 ~data ~selected in
   Alcotest.(check bool)
     (Printf.sprintf "sampled %.4f <= exact %.4f" s g)
     true
-    (s <= g +. 1e-9);
+    (s <= g +. geom_eps);
   Alcotest.(check bool) "sampled close to exact" true (s >= g -. 0.05)
 
 let test_geometric_without_boundary () =
@@ -59,7 +59,7 @@ let test_geometric_without_boundary () =
      in; compare against LP *)
   let selected = [ [| 0.4; 0.3 |]; [| 0.25; 0.45 |] ] in
   let data = [| 1.; 1. |] :: [| 0.5; 0.2 |] :: selected in
-  check_float ~eps:1e-6 "agrees with LP"
+  check_float ~eps:float_eps "agrees with LP"
     (Mrr.lp ~data ~selected)
     (Mrr.geometric ~data ~selected)
 
@@ -72,7 +72,7 @@ let test_same_answers () =
       let points = ds.Dataset.points in
       let geo = Geo_greedy.run ~points ~k () in
       let lp = Greedy_lp.run ~points ~k () in
-      check_float ~eps:1e-6
+      check_float ~eps:float_eps
         (Printf.sprintf "mrr equal (n=%d d=%d k=%d)" n d k)
         lp.Greedy_lp.mrr geo.Geo_greedy.mrr;
       Alcotest.(check (list int))
@@ -85,7 +85,7 @@ let test_mrr_self_consistent () =
   let points = ds.Dataset.points in
   let r = Geo_greedy.run ~points ~k:8 () in
   let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
-  check_float ~eps:1e-6 "reported mrr = recomputed mrr"
+  check_float ~eps:float_eps "reported mrr = recomputed mrr"
     (Mrr.geometric ~data:(Array.to_list points) ~selected)
     r.Geo_greedy.mrr
 
@@ -99,7 +99,7 @@ let test_monotone_in_k () =
       Alcotest.(check bool)
         (Printf.sprintf "mrr(k=%d) <= mrr(k-step)" k)
         true
-        (r.Geo_greedy.mrr <= !prev +. 1e-9);
+        (r.Geo_greedy.mrr <= !prev +. geom_eps);
       prev := r.Geo_greedy.mrr)
     [ 4; 6; 8; 12; 16; 24 ]
 
@@ -154,7 +154,7 @@ let test_stored_list_prefix_property () =
       Alcotest.(check (list int))
         (Printf.sprintf "prefix(k=%d) = GeoGreedy(k=%d)" k k)
         direct.Geo_greedy.order (Stored_list.query sl ~k);
-      check_float ~eps:1e-9
+      check_float ~eps:geom_eps
         (Printf.sprintf "stored mrr(k=%d)" k)
         direct.Geo_greedy.mrr (Stored_list.mrr_at sl ~k))
     [ 3; 5; 8; 12 ]
@@ -200,7 +200,7 @@ let test_query_happy_pipeline () =
   Alcotest.(check int) "k points" 8 (List.length r.Query.selected);
   (* mrr over candidates equals mrr over the full data: boundary points are
      retained by the happy reduction *)
-  check_float ~eps:1e-6 "mrr vs full data"
+  check_float ~eps:float_eps "mrr vs full data"
     (Mrr.geometric ~data:(Dataset.to_list ds) ~selected:r.Query.selected)
     r.Query.mrr
 
@@ -209,8 +209,8 @@ let test_query_algorithms_agree () =
   let geo = Query.run ~algorithm:Query.Geo_greedy ~candidates:Query.Happy ds ~k:6 in
   let lp = Query.run ~algorithm:Query.Greedy_lp ~candidates:Query.Happy ds ~k:6 in
   let sl = Query.run ~algorithm:Query.Stored_list ~candidates:Query.Happy ds ~k:6 in
-  check_float ~eps:1e-6 "geo = lp" lp.Query.mrr geo.Query.mrr;
-  check_float ~eps:1e-9 "geo = stored" geo.Query.mrr sl.Query.mrr;
+  check_float ~eps:float_eps "geo = lp" lp.Query.mrr geo.Query.mrr;
+  check_float ~eps:geom_eps "geo = stored" geo.Query.mrr sl.Query.mrr;
   Alcotest.(check (list int)) "orders geo = stored" geo.Query.order sl.Query.order
 
 let test_names () =
@@ -257,13 +257,13 @@ let base_suite =
         let k = 5 in
         let geo = Geo_greedy.run ~points ~k () in
         let lp = Greedy_lp.run ~points ~k () in
-        abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) < 1e-6);
+        abs_float (geo.Geo_greedy.mrr -. lp.Greedy_lp.mrr) < float_eps);
     qcheck_case ~count:25 "selection regret vanishes on its own members"
       (qc_normalized_points ~n:20 ~d:3)
       (fun points ->
         let r = Geo_greedy.run ~points ~k:6 () in
         let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
-        Mrr.geometric ~data:selected ~selected < 1e-9);
+        Mrr.geometric ~data:selected ~selected < geom_eps);
     qcheck_case ~count:15 "sampling never exceeds exact mrr"
       (qc_normalized_points ~n:20 ~d:4)
       (fun points ->
@@ -274,7 +274,7 @@ let base_suite =
         let approx =
           Mrr.sampled ~rng:(Rng.create 2) ~samples:500 ~data ~selected
         in
-        approx <= exact +. 1e-9);
+        approx <= exact +. geom_eps);
   ]
 
 (* --- StoredList persistence ---------------------------------------------- *)
@@ -334,7 +334,7 @@ let test_hybrid_identical_results () =
       Alcotest.(check (list int))
         (Printf.sprintf "same order (n=%d d=%d k=%d)" n d k)
         pure.Geo_greedy.order hybrid.Geo_greedy.order;
-      check_float ~eps:1e-6 "same mrr" pure.Geo_greedy.mrr hybrid.Geo_greedy.mrr)
+      check_float ~eps:float_eps "same mrr" pure.Geo_greedy.mrr hybrid.Geo_greedy.mrr)
     [ (50, 3, 8, 61); (40, 4, 9, 62); (60, 2, 6, 63) ]
 
 let test_hybrid_not_engaged_when_roomy () =
@@ -356,7 +356,7 @@ let test_hybrid_stored_list_compatible () =
     (fun (size, mrr) ->
       let direct = Geo_greedy.run ~points ~k:size () in
       if List.length direct.Geo_greedy.order = size then
-        check_float ~eps:1e-6
+        check_float ~eps:float_eps
           (Printf.sprintf "prefix mrr at size %d" size)
           direct.Geo_greedy.mrr mrr)
     !table

@@ -1,0 +1,117 @@
+(* Dedicated StoredList coverage (satellite of the fuzzing PR): the prefix
+   property against fresh GeoGreedy runs, clamping when k exceeds the
+   materialized list / the happy-point count, and idempotence of repeated
+   queries. test_regret.ml already spot-checks save/load; this suite pins
+   the query-phase semantics the paper sells ("O(k) per query"). *)
+
+open Testutil
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Geo_greedy = Kregret.Geo_greedy
+module Stored_list = Kregret.Stored_list
+module Happy = Kregret_happy.Happy
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+let prefix_of ~prefix full =
+  let rec go p f =
+    match (p, f) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: p', y :: f' -> x = y && go p' f'
+  in
+  go prefix full
+
+let test_prefix_property () =
+  (* answer k = first k of the full materialization = GeoGreedy's own order
+     at that k, for every k up to the list length *)
+  let ds = anti 80 4 11 in
+  let happy = Happy.of_dataset ds in
+  let points = happy.Dataset.points in
+  let sl = Stored_list.preprocess points in
+  let full = Stored_list.order sl in
+  for k = 1 to Stored_list.length sl do
+    let ans = Stored_list.query sl ~k in
+    Alcotest.(check int)
+      (Printf.sprintf "k=%d answer length" k)
+      (min k (Stored_list.length sl))
+      (List.length ans);
+    Alcotest.(check bool)
+      (Printf.sprintf "k=%d answer is a prefix of the list" k)
+      true
+      (prefix_of ~prefix:ans full);
+    let direct = Geo_greedy.run ~points ~k () in
+    Alcotest.(check (list int))
+      (Printf.sprintf "k=%d matches a fresh GeoGreedy run" k)
+      direct.Geo_greedy.order ans;
+    check_float
+      (Printf.sprintf "k=%d mrr matches" k)
+      direct.Geo_greedy.mrr
+      (Stored_list.mrr_at sl ~k)
+  done
+
+let test_clamp_beyond_length () =
+  (* k past the materialized length returns the whole list, with mrr equal
+     to the final prefix's — no exception, no padding *)
+  let ds = anti 40 3 7 in
+  let happy = Happy.of_dataset ds in
+  let points = happy.Dataset.points in
+  let sl = Stored_list.preprocess points in
+  let len = Stored_list.length sl in
+  Alcotest.(check bool) "list no longer than candidates" true
+    (len <= Array.length points);
+  let whole = Stored_list.query sl ~k:(len + 50) in
+  Alcotest.(check (list int)) "k > length returns the whole list"
+    (Stored_list.order sl) whole;
+  check_float "mrr clamps with it"
+    (Stored_list.mrr_at sl ~k:len)
+    (Stored_list.mrr_at sl ~k:(len + 50))
+
+let test_max_length_truncation () =
+  (* a deployment that knows its largest k can stop materializing there;
+     prefixes below the cut are unchanged *)
+  let ds = anti 60 4 13 in
+  let happy = Happy.of_dataset ds in
+  let points = happy.Dataset.points in
+  let full = Stored_list.preprocess points in
+  let cut = 5 in
+  let truncated = Stored_list.preprocess ~max_length:cut points in
+  Alcotest.(check bool) "truncated list is short" true
+    (Stored_list.length truncated <= cut);
+  Alcotest.(check (list int)) "truncation preserves the prefix"
+    (Stored_list.query full ~k:(Stored_list.length truncated))
+    (Stored_list.order truncated)
+
+let test_query_idempotent () =
+  (* queries are pure reads: asking twice (and interleaving other ks) gives
+     bit-identical answers *)
+  let ds = anti 50 3 17 in
+  let happy = Happy.of_dataset ds in
+  let sl = Stored_list.preprocess happy.Dataset.points in
+  let k = min 4 (Stored_list.length sl) in
+  let a = Stored_list.query sl ~k in
+  let _noise = Stored_list.query sl ~k:1 in
+  let _noise2 = Stored_list.query sl ~k:(Stored_list.length sl) in
+  let b = Stored_list.query sl ~k in
+  Alcotest.(check (list int)) "same answer on repeat" a b;
+  check_float ~eps:0. "same mrr on repeat"
+    (Stored_list.mrr_at sl ~k)
+    (Stored_list.mrr_at sl ~k)
+
+let test_singleton () =
+  let sl = Stored_list.preprocess [| [| 1.0; 1.0 |] |] in
+  Alcotest.(check (list int)) "singleton list" [ 0 ] (Stored_list.order sl);
+  check_float "mrr 0 immediately" 0. (Stored_list.mrr_at sl ~k:1)
+
+let suite =
+  [
+    Alcotest.test_case "prefix property vs fresh GeoGreedy runs" `Quick
+      test_prefix_property;
+    Alcotest.test_case "k beyond the list clamps" `Quick
+      test_clamp_beyond_length;
+    Alcotest.test_case "max_length truncates without changing the prefix"
+      `Quick test_max_length_truncation;
+    Alcotest.test_case "queries are idempotent" `Quick test_query_idempotent;
+    Alcotest.test_case "singleton candidate set" `Quick test_singleton;
+  ]

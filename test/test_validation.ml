@@ -1,0 +1,114 @@
+(* Validation.run coverage (satellite of the fuzzing PR): the report's
+   fields must be consistent with direct calls into the modules it
+   cross-checks, a healthy pipeline must validate ok, and a sabotaged
+   tolerance must produce failures rather than a silent pass. *)
+
+open Testutil
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Validation = Kregret.Validation
+module Mrr = Kregret.Mrr
+module Geo_greedy = Kregret.Geo_greedy
+module Happy = Kregret_happy.Happy
+module Skyline = Kregret_skyline.Skyline
+
+let anti n d seed = Generator.anti_correlated (Rng.create seed) ~n ~d
+
+(* the candidate tier exactly as Validation builds it: happy points of the
+   skyline (same set as happy of the full data by Lemma 3, but index order
+   matters for reproducing the greedy runs bit-for-bit) *)
+let candidate_tier ds =
+  let sky = Skyline.of_dataset ds in
+  let happy_idx = Happy.happy_points sky.Dataset.points in
+  (sky, Dataset.sub sky ~indices:happy_idx)
+
+let test_clean_run_ok () =
+  let ds = anti 60 3 21 in
+  let r = Validation.run ds ~k:5 ~samples:500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ok (failures: %s)"
+       (String.concat "; " r.Validation.failures))
+    true r.Validation.ok;
+  Alcotest.(check (list string)) "no failures" [] r.Validation.failures
+
+let test_report_fields_match_direct_calls () =
+  let ds = anti 50 3 22 in
+  let k = 4 in
+  let r = Validation.run ds ~k ~samples:400 in
+  (* tier sizes *)
+  let sky, happy = candidate_tier ds in
+  Alcotest.(check int) "candidates = |D_happy|" (Dataset.size happy)
+    r.Validation.candidates;
+  Alcotest.(check int) "skyline = |D_sky|" (Dataset.size sky)
+    r.Validation.skyline;
+  (* mrr values match fresh runs of the modules being validated *)
+  let geo = Geo_greedy.run ~points:happy.Dataset.points ~k () in
+  check_float ~eps:0. "geo_mrr matches a direct GeoGreedy run"
+    geo.Geo_greedy.mrr r.Validation.geo_mrr;
+  let selected =
+    List.map (fun i -> happy.Dataset.points.(i)) geo.Geo_greedy.order
+  in
+  check_float ~eps:0. "exact_over_full matches Mrr.geometric on the full data"
+    (Mrr.geometric ~data:(Dataset.to_list ds) ~selected)
+    r.Validation.exact_over_full;
+  (* internal consistency *)
+  check_float "lp_mrr agrees with geo_mrr" r.Validation.geo_mrr
+    r.Validation.lp_mrr;
+  check_float "stored_mrr agrees with geo_mrr" r.Validation.geo_mrr
+    r.Validation.stored_mrr;
+  Alcotest.(check bool) "sampled is a lower bound" true
+    (r.Validation.sampled_lower_bound
+    <= r.Validation.exact_over_full +. float_eps);
+  Alcotest.(check bool) "mrr in [0,1)" true
+    (r.Validation.geo_mrr >= 0. && r.Validation.geo_mrr < 1.)
+
+let test_sampled_budget_monotone_safe () =
+  (* raising the Monte-Carlo budget can only tighten the lower bound — it
+     must never cross the exact value *)
+  let ds = anti 40 3 25 in
+  let small = Validation.run ds ~k:4 ~samples:100 in
+  let large = Validation.run ds ~k:4 ~samples:2_000 in
+  Alcotest.(check bool) "both ok" true
+    (small.Validation.ok && large.Validation.ok);
+  check_float ~eps:0. "exact value independent of the sampling budget"
+    small.Validation.exact_over_full large.Validation.exact_over_full;
+  Alcotest.(check bool) "bigger budget still below exact" true
+    (large.Validation.sampled_lower_bound
+    <= large.Validation.exact_over_full +. float_eps)
+
+let test_sabotaged_tolerance_fails () =
+  (* with eps = -1 every agreement check is impossible, so the report must
+     carry failures and ok = false — proves failures are actually collected,
+     not just initialized empty *)
+  let ds = anti 40 3 23 in
+  let r = Validation.run ds ~k:4 ~samples:200 ~eps:(-1.) in
+  Alcotest.(check bool) "not ok" false r.Validation.ok;
+  Alcotest.(check bool) "failures recorded" true (r.Validation.failures <> [])
+
+let test_pp_report_renders_verdict () =
+  let ds = anti 30 2 24 in
+  let r = Validation.run ds ~k:3 ~samples:200 in
+  let s = Format.asprintf "%a" Validation.pp_report r in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions the consistency verdict" true
+    (contains "consistency");
+  Alcotest.(check bool) "pp reports OK on a clean run" true
+    ((not r.Validation.ok) || contains "OK")
+
+let suite =
+  [
+    Alcotest.test_case "clean pipeline validates ok" `Quick test_clean_run_ok;
+    Alcotest.test_case "report fields match direct module calls" `Quick
+      test_report_fields_match_direct_calls;
+    Alcotest.test_case "sampling budget never crosses the exact value" `Quick
+      test_sampled_budget_monotone_safe;
+    Alcotest.test_case "sabotaged tolerance surfaces failures" `Quick
+      test_sabotaged_tolerance_fails;
+    Alcotest.test_case "pp_report renders a verdict" `Quick
+      test_pp_report_renders_verdict;
+  ]

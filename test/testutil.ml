@@ -2,7 +2,10 @@
 
 module Vector = Kregret_geom.Vector
 
-let float_eps = 1e-6
+(* The shared agreement tolerance lives in one place (lib/check): tests,
+   oracle and validation all compare floats with the same slack. *)
+let float_eps = Kregret_check.Tolerance.tie
+let geom_eps = Kregret_check.Tolerance.geom
 
 (* Alcotest checker for floats with absolute tolerance. *)
 let approx ?(eps = float_eps) () =
