@@ -82,9 +82,12 @@ type json =
   | String of string
   | List of json list
   | Obj of (string * json) list
+  | Raw of string
+      (** pre-rendered JSON spliced verbatim (e.g. a Kregret_obs export) *)
 
 let rec pp_json buf = function
   | Null -> Buffer.add_string buf "null"
+  | Raw s -> Buffer.add_string buf (String.trim s)
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
@@ -138,8 +141,15 @@ let json_dir () =
 
 (* [emit_json ~id rows extra] writes BENCH_<id>.json carrying the rows of
    the section's text table plus run metadata: jobs count, git revision,
-   timestamp. One file per section id; reruns overwrite. *)
+   timestamp. One file per section id; reruns overwrite. When observability
+   is on (bench --metrics), each file additionally embeds the cumulative
+   kregret-obs/v1 snapshot at emission time under a "metrics" key. *)
 let emit_json ~id ?(extra = []) rows =
+  let metrics =
+    if Kregret_obs.Control.enabled () then
+      [ ("metrics", Raw (Kregret_obs.Export.to_json ())) ]
+    else []
+  in
   let doc =
     Obj
       ([
@@ -148,7 +158,7 @@ let emit_json ~id ?(extra = []) rows =
          ("jobs", Int (Kregret_parallel.Pool.get_jobs ()));
          ("generated_at", Float (Unix.gettimeofday ()));
        ]
-      @ extra
+      @ extra @ metrics
       @ [ ("rows", List (List.map (fun r -> Obj r) rows)) ])
   in
   let buf = Buffer.create 1024 in

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --quick all  # smaller scales (CI-friendly)
      dune exec bench/main.exe -- --smoke scal # tiny scales (seconds; CI smoke)
      dune exec bench/main.exe -- --jobs 4 scal# pool width for parallel paths
+     dune exec bench/main.exe -- --metrics m.json scal  # obs snapshot on exit
 
    [--jobs N] sizes the domain pool (default: KREGRET_JOBS or the number of
    cores). Sections additionally emit machine-readable BENCH_<id>.json files
@@ -39,25 +40,37 @@ let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --jobs N: size the domain pool before any section runs *)
+  (* --jobs N / --metrics PATH: handled before any section runs *)
+  let metrics = ref None in
   let args =
-    let rec strip_jobs acc = function
+    let rec strip acc = function
       | "--jobs" :: n :: rest -> (
           match int_of_string_opt n with
           | Some j when j >= 1 ->
               Kregret_parallel.Pool.set_jobs j;
-              strip_jobs acc rest
+              strip acc rest
           | _ ->
               Fmt.epr "--jobs expects a positive integer, got %S@." n;
               exit 2)
       | "--jobs" :: [] ->
           Fmt.epr "--jobs expects a positive integer@.";
           exit 2
-      | a :: rest -> strip_jobs (a :: acc) rest
+      | "--metrics" :: path :: rest ->
+          metrics := Some path;
+          strip acc rest
+      | "--metrics" :: [] ->
+          Fmt.epr "--metrics expects a file path@.";
+          exit 2
+      | a :: rest -> strip (a :: acc) rest
       | [] -> List.rev acc
     in
-    strip_jobs [] args
+    strip [] args
   in
+  (match !metrics with
+  | None -> ()
+  | Some _ ->
+      Kregret_obs.Control.set_clock Unix.gettimeofday;
+      Kregret_obs.Control.set_enabled true);
   let quick = List.mem "--quick" args in
   let smoke = List.mem "--smoke" args in
   let args =
@@ -94,4 +107,9 @@ let () =
             (String.concat " " (List.map fst sections));
           exit 2)
     wanted;
+  (match !metrics with
+  | None -> ()
+  | Some path ->
+      Kregret_obs.Export.write ~path;
+      Fmt.pr "  # wrote %s@." path);
   Fmt.pr "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -53,6 +53,17 @@ let seed_arg =
 let k_arg =
   Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc:"Output size of the query.")
 
+(* Validated at parse time: a bad --jobs is a usage error (cmdliner exit
+   124 with the offending value echoed), not a runtime failure. *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Ok j
+    | Some j -> Error (`Msg (Printf.sprintf "JOBS must be >= 1 (got %d)" j))
+    | None -> Error (`Msg (Printf.sprintf "JOBS must be an integer, got %S" s))
+  in
+  Arg.conv ~docv:"JOBS" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
     "Domain pool width for the parallel hot paths (skyline, happy filter, \
@@ -60,12 +71,51 @@ let jobs_arg =
      or the machine's recommended domain count; 1 forces purely sequential \
      execution. Results are identical for every width."
   in
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+  Arg.(
+    value & opt (some jobs_conv) None & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
 
 let apply_jobs = function
   | None -> ()
-  | Some j when j >= 1 -> Kregret_parallel.Pool.set_jobs j
-  | Some j -> Fmt.failwith "--jobs must be >= 1 (got %d)" j
+  | Some j -> Kregret_parallel.Pool.set_jobs j
+
+(* ---- observability ------------------------------------------------------- *)
+
+module Obs = Kregret_obs
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable observability and write a kregret-obs/v1 JSON metrics \
+           snapshot (counters, gauges, histograms, span tree) to $(docv) on \
+           exit.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable observability and print a human-readable metrics table to \
+           stderr on exit.")
+
+let obs_term = Term.(const (fun m s -> (m, s)) $ metrics_arg $ stats_flag)
+
+(* Enable the registry before any work runs, flush on the way out (also on
+   failure: a crashing run's partial counters are exactly what you want). *)
+let with_obs (metrics, stats) f =
+  if metrics <> None || stats then begin
+    Obs.Control.set_clock Unix.gettimeofday;
+    Obs.Control.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with
+      | Some path -> Obs.Export.write ~path
+      | None -> ());
+      if stats then Obs.Export.pp_table Format.err_formatter ())
+    f
 
 let file_arg =
   Arg.(
@@ -102,13 +152,18 @@ let gen_cmd =
 (* ---- stats --------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file dist n d seed with_conv summary jobs = wrap @@ fun () ->
+  let run file dist n d seed with_conv summary jobs obs = wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     if summary then Fmt.pr "%a@." Kregret_dataset.Stats.pp_summary ds;
-    let sky, t_sky = timed (fun () -> Skyline.of_dataset ds) in
+    let sky, t_sky =
+      timed (fun () -> Obs.Span.with_ "cli.skyline" (fun () -> Skyline.of_dataset ds))
+    in
     let happy_idx, t_happy =
-      timed (fun () -> Happy.happy_points sky.Dataset.points)
+      timed (fun () ->
+          Obs.Span.with_ "cli.happy" (fun () ->
+              Happy.happy_points sky.Dataset.points))
     in
     Fmt.pr "dataset   %-16s n=%d d=%d@." ds.Dataset.name (Dataset.size ds)
       ds.Dataset.dim;
@@ -136,7 +191,7 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Candidate-set statistics (Table III)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ with_conv $ summary $ jobs_arg)
+      $ with_conv $ summary $ jobs_arg $ obs_term)
 
 (* ---- query ---------------------------------------------------------------- *)
 
@@ -164,16 +219,22 @@ let candidates_arg =
     & info [ "candidates"; "c" ] ~docv:"SET" ~doc:"Candidate set: all | sky | happy.")
 
 let query_cmd =
-  let run file dist n d seed k algorithm candidates verbose vertex_cap jobs =
+  let run file dist n d seed k algorithm candidates verbose vertex_cap jobs obs
+      =
     wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
-    let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
+    let cand, t_pre =
+      timed (fun () ->
+          Obs.Span.with_ "cli.preprocess" (fun () -> Query.reduce ds candidates))
+    in
     let result, t_query =
       match (algorithm, vertex_cap) with
       | Query.Geo_greedy, Some cap ->
           (* hybrid mode: geometric index with an LP fallback past the cap *)
           timed (fun () ->
+              Obs.Span.with_ "cli.query" @@ fun () ->
               let points = cand.Dataset.points in
               let r = Kregret.Geo_greedy.run ~max_dual_vertices:cap ~points ~k () in
               {
@@ -184,7 +245,9 @@ let query_cmd =
                 mrr = r.Kregret.Geo_greedy.mrr;
               })
       | _ ->
-          timed (fun () -> Query.run ~algorithm ~candidates:Query.All cand ~k)
+          timed (fun () ->
+              Obs.Span.with_ "cli.query" (fun () ->
+                  Query.run ~algorithm ~candidates:Query.All cand ~k))
     in
     Fmt.pr "%s on %s of %s: k=%d@."
       (Query.algorithm_name algorithm)
@@ -210,13 +273,15 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a k-regret query")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ k_arg
-      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap $ jobs_arg)
+      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap $ jobs_arg
+      $ obs_term)
 
 (* ---- sweep ----------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run file dist n d seed algorithm candidates ks output jobs =
+  let run file dist n d seed algorithm candidates ks output jobs obs =
     wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
@@ -256,12 +321,13 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run a k-sweep and emit CSV (one row per k)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ algorithm_arg $ candidates_arg $ ks $ output $ jobs_arg)
+      $ algorithm_arg $ candidates_arg $ ks $ output $ jobs_arg $ obs_term)
 
 (* ---- materialize ------------------------------------------------------------ *)
 
 let materialize_cmd =
-  let run file dist n d seed list_path max_length jobs = wrap @@ fun () ->
+  let run file dist n d seed list_path max_length jobs obs = wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let happy, t_pre = timed (fun () -> Query.reduce ds Query.Happy) in
@@ -291,12 +357,13 @@ let materialize_cmd =
        ~doc:"Precompute a StoredList for a dataset (Section IV-B preprocessing)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ list_path $ max_length $ jobs_arg)
+      $ list_path $ max_length $ jobs_arg $ obs_term)
 
 (* ---- query-list -------------------------------------------------------------- *)
 
 let query_list_cmd =
-  let run list_path file dist n d seed k verbose = wrap @@ fun () ->
+  let run list_path file dist n d seed k verbose obs = wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     let ds = load_or_generate file dist n d seed in
     let happy = Query.reduce ds Query.Happy in
     let points = happy.Dataset.points in
@@ -329,15 +396,19 @@ let query_list_cmd =
     (Cmd.info "query-list" ~doc:"Answer a k-regret query from a materialized list")
     Term.(
       const run $ list_path $ file_arg2 $ dist_arg $ n_arg 10_000 $ d_arg
-      $ seed_arg $ k_arg $ verbose)
+      $ seed_arg $ k_arg $ verbose $ obs_term)
 
 (* ---- validate --------------------------------------------------------------- *)
 
 let validate_cmd =
-  let run file dist n d seed k jobs = wrap @@ fun () ->
+  let run file dist n d seed k jobs obs = wrap @@ fun () ->
+    with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
-    let report, t = timed (fun () -> Kregret.Validation.run ds ~k) in
+    let report, t =
+      timed (fun () ->
+          Obs.Span.with_ "cli.validate" (fun () -> Kregret.Validation.run ds ~k))
+    in
     Fmt.pr "%a" Kregret.Validation.pp_report report;
     Fmt.pr "(validated in %.3fs)@." t;
     if not report.Kregret.Validation.ok then exit 1
@@ -346,7 +417,7 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"Cross-check algorithms and evaluators")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 2_000 $ d_arg $ seed_arg $ k_arg
-      $ jobs_arg)
+      $ jobs_arg $ obs_term)
 
 let () =
   let info = Cmd.info "kregret" ~version:"1.0.0" ~doc:"k-regret queries (ICDE 2014 geometry approach)" in

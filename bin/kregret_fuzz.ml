@@ -14,6 +14,7 @@
 open Cmdliner
 module Fuzzer = Kregret_check.Fuzzer
 module Oracle = Kregret_check.Oracle
+module Obs = Kregret_obs
 
 let replay_corpus corpus =
   match Kregret_check.Corpus.list ~dir:corpus with
@@ -33,16 +34,26 @@ let replay_corpus corpus =
         bases;
       if !failed = 0 then 0 else 1
 
+let with_obs (metrics, stats) f =
+  if metrics <> None || stats then begin
+    Obs.Control.set_clock Unix.gettimeofday;
+    Obs.Control.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with
+      | Some path -> Obs.Export.write ~path
+      | None -> ());
+      if stats then Obs.Export.pp_table Format.err_formatter ())
+    f
+
 let run replay instances seed corpus no_persist samples jobs_hi shrink_attempts
-    quiet =
+    quiet obs =
+  with_obs obs @@ fun () ->
   if replay then replay_corpus corpus
   else begin
   if instances < 0 then begin
     Fmt.epr "kregret_fuzz: --instances must be non-negative@.";
-    exit 124
-  end;
-  if jobs_hi < 1 then begin
-    Fmt.epr "kregret_fuzz: --jobs must be >= 1@.";
     exit 124
   end;
   let config =
@@ -55,7 +66,7 @@ let run replay instances seed corpus no_persist samples jobs_hi shrink_attempts
       log = (if quiet then None else Some prerr_endline);
     }
   in
-  let summary = Fuzzer.run config in
+  let summary = Obs.Span.with_ "fuzz.campaign" (fun () -> Fuzzer.run config) in
   Fmt.pr "%a" Fuzzer.pp_summary summary;
   if summary.Fuzzer.failed = [] then 0 else 1
   end
@@ -94,14 +105,44 @@ let samples_arg =
     & info [ "samples" ] ~docv:"S"
         ~doc:"Monte-Carlo budget for the sampled-mrr lower-bound check.")
 
+(* validated at parse time: a bad --jobs is a usage error (exit 124), not a
+   mid-campaign failure *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Ok j
+    | Some j -> Error (`Msg (Printf.sprintf "JOBS must be >= 1 (got %d)" j))
+    | None -> Error (`Msg (Printf.sprintf "JOBS must be an integer, got %S" s))
+  in
+  Arg.conv ~docv:"JOBS" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int Oracle.default.Oracle.jobs_hi
+    value & opt jobs_conv Oracle.default.Oracle.jobs_hi
     & info [ "jobs"; "j" ] ~docv:"JOBS"
         ~doc:
           "Second pool width for the jobs-invariance check (every instance \
            is run at width 1 and at width JOBS; results must be \
            bit-identical). 1 disables the comparison.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable observability and write a kregret-obs/v1 JSON metrics \
+           snapshot to $(docv) on exit.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable observability and print a human-readable metrics table to \
+           stderr on exit.")
+
+let obs_term = Term.(const (fun m s -> (m, s)) $ metrics_arg $ stats_arg)
 
 let shrink_arg =
   Arg.(
@@ -142,6 +183,7 @@ let cmd =
     (Cmd.info "kregret_fuzz" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ replay_arg $ instances_arg $ seed_arg $ corpus_arg
-      $ no_persist_arg $ samples_arg $ jobs_arg $ shrink_arg $ quiet_arg)
+      $ no_persist_arg $ samples_arg $ jobs_arg $ shrink_arg $ quiet_arg
+      $ obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,4 +1,17 @@
 module Rng = Kregret_dataset.Rng
+module Obs = Kregret_obs
+
+(* The fuzz loop is sequential, so these counts replay exactly per seed. *)
+let c_instances =
+  Obs.Registry.counter "fuzz.instances" ~help:"fuzz instances generated"
+
+let c_failed =
+  Obs.Registry.counter "fuzz.failed_instances"
+    ~help:"instances on which the oracle reported at least one failure"
+
+let c_shrink_steps =
+  Obs.Registry.counter "fuzz.shrink_steps"
+    ~help:"accepted shrink steps across all failing instances"
 
 type config = {
   instances : int;
@@ -45,7 +58,11 @@ let handle_failure cfg inst failures =
     let fs = Oracle.check ~config:cfg.oracle cand in
     List.exists (fun f -> List.mem f.Oracle.check original_checks) fs
   in
-  let s = Shrink.shrink ~max_attempts:cfg.shrink_attempts ~fails inst in
+  let s =
+    Obs.Span.with_ "fuzz.shrink" (fun () ->
+        Shrink.shrink ~max_attempts:cfg.shrink_attempts ~fails inst)
+  in
+  Obs.Counter.add c_shrink_steps s.Shrink.steps;
   let shrunk_failures = Oracle.check ~config:cfg.oracle s.Shrink.instance in
   (* keep the original failures if the final re-check raced to empty (it
      cannot for a deterministic oracle, but stay defensive) *)
@@ -79,11 +96,14 @@ let run cfg =
   let failed = ref [] in
   for id = 0 to cfg.instances - 1 do
     let inst = Instance.generate ~seed:cfg.seed ~id master in
+    Obs.Counter.incr c_instances;
     if id mod 50 = 0 then
       log cfg "instance %d/%d (%s)" id cfg.instances (Instance.describe inst);
     match Oracle.check ~config:cfg.oracle inst with
     | [] -> ()
-    | failures -> failed := handle_failure cfg inst failures :: !failed
+    | failures ->
+        Obs.Counter.incr c_failed;
+        failed := handle_failure cfg inst failures :: !failed
   done;
   { ran = cfg.instances; failed = List.rev !failed }
 

@@ -221,14 +221,29 @@ let check_inner cfg inst =
   end;
   !failures
 
+module Obs = Kregret_obs
+
+let c_checks =
+  Obs.Registry.counter "oracle.checks" ~help:"oracle verdicts computed"
+
+let c_failures =
+  Obs.Registry.counter "oracle.failures"
+    ~help:"individual check failures across all verdicts"
+
 let check ?(config = default) inst =
-  try check_inner config inst
-  with e ->
-    [
-      {
-        check = "exception";
-        message =
-          Printf.sprintf "%s raised on %s" (Printexc.to_string e)
-            (Instance.describe inst);
-      };
-    ]
+  Obs.Counter.incr c_checks;
+  let failures =
+    Obs.Span.with_ "oracle.check" (fun () ->
+        try check_inner config inst
+        with e ->
+          [
+            {
+              check = "exception";
+              message =
+                Printf.sprintf "%s raised on %s" (Printexc.to_string e)
+                  (Instance.describe inst);
+            };
+          ])
+  in
+  Obs.Counter.add c_failures (List.length failures);
+  failures

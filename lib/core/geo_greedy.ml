@@ -2,6 +2,28 @@ module Vector = Kregret_geom.Vector
 module Dd = Kregret_hull.Dd
 module Dual_polytope = Kregret_hull.Dual_polytope
 module Pool = Kregret_parallel.Pool
+module Obs = Kregret_obs
+
+(* Observability: every value flushed below is also a field of [result] (or
+   derived from one), so the totals inherit the width-invariance the
+   algorithm itself guarantees. *)
+let c_runs = Obs.Registry.counter "geo_greedy.runs" ~help:"greedy runs executed"
+
+let c_rounds =
+  Obs.Registry.counter "geo_greedy.rounds"
+    ~help:"greedy insertion rounds across all runs (= sum of iterations)"
+
+let c_seeds =
+  Obs.Registry.counter "geo_greedy.seeds"
+    ~help:"boundary seed points inserted before the greedy loop"
+
+let c_rescans =
+  Obs.Registry.counter "geo_greedy.champion_rescans"
+    ~help:"champion cache rescans after polytope updates"
+
+let c_lp_fallbacks =
+  Obs.Registry.counter "geo_greedy.lp_fallbacks"
+    ~help:"runs that blew the dual-vertex budget and fell back to the LP"
 
 type result = {
   order : int list;
@@ -138,6 +160,8 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
         end
   in
   seed seeds;
+  Obs.Counter.incr c_runs;
+  Obs.Counter.add c_seeds !size;
   (* champions start from a full scan once the seeds are in *)
   full_rescan_all ();
   rescans := 0;
@@ -258,6 +282,9 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
     end
   done;
   let mrr = match !lp_mrr with Some m -> m | None -> current_mrr () in
+  Obs.Counter.add c_rounds !iterations;
+  Obs.Counter.add c_rescans !rescans;
+  if !lp_fallback_at <> None then Obs.Counter.incr c_lp_fallbacks;
   {
     order = List.rev !order;
     mrr;

@@ -3,6 +3,11 @@ module Dual_polytope = Kregret_hull.Dual_polytope
 module Regret_lp = Kregret_lp.Regret_lp
 module Rng = Kregret_dataset.Rng
 module Pool = Kregret_parallel.Pool
+module Obs = Kregret_obs
+
+let c_sampled =
+  Obs.Registry.counter "mrr.sampled_directions"
+    ~help:"random directions evaluated by the Monte-Carlo mrr estimator"
 
 let check ~selected =
   if selected = [] then invalid_arg "Mrr: empty selection"
@@ -50,12 +55,25 @@ let random_direction rng d =
     Vector.normalize
       (Array.init d (fun _ -> abs_float (Rng.gaussian rng ~mu:0. ~sigma:1.)))
   else begin
+    (* Sparse branch: [support] *distinct* axes via a partial Fisher–Yates
+       shuffle. The old loop drew axes with replacement, so collisions
+       silently shrank the support — a draw of "support = d" produced a
+       full-support direction only ~d!/d^d of the time, starving the
+       estimator of exactly the high-support sparse probes it advertises.
+       Weights are >= 0.05, so the norm is always positive and no zero-guard
+       is needed. Consumes 2*support draws after the support draw; the
+       block-split determinism of [sampled] is unaffected (each block owns
+       its own generator). *)
     let v = Array.make d 0. in
     let support = 1 + Rng.int rng d in
-    for _ = 1 to support do
-      v.(Rng.int rng d) <- 0.05 +. Rng.float rng
+    let axes = Array.init d Fun.id in
+    for i = 0 to support - 1 do
+      let j = i + Rng.int rng (d - i) in
+      let a = axes.(j) in
+      axes.(j) <- axes.(i);
+      axes.(i) <- a;
+      v.(a) <- 0.05 +. Rng.float rng
     done;
-    if Vector.norm v = 0. then v.(Rng.int rng d) <- 1.;
     Vector.normalize v
   end
 
@@ -81,6 +99,8 @@ let sampled ~rng ~samples ~data ~selected =
       ~map:(fun b _ ->
         let r = rngs.(b) in
         let count = min sample_block (samples - (b * sample_block)) in
+        (* per-block flush: block sizes depend only on [samples] *)
+        Obs.Counter.add c_sampled count;
         let acc = ref 0. in
         for _ = 1 to count do
           let weight = random_direction r d in

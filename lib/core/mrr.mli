@@ -53,3 +53,11 @@ val regret_for_weight :
   data:Kregret_geom.Vector.t list ->
   selected:Kregret_geom.Vector.t list ->
   float
+
+(** [random_direction rng d] — one random non-negative unit direction of the
+    mixture [sampled] draws from: with probability 1/2 a Gaussian-orthant
+    direction (uniform on the positive part of the sphere), otherwise a
+    sparse direction supported on [1 + Rng.int rng d] {e distinct} axes
+    (partial Fisher–Yates) with weights in [[0.05, 1.05)]. Exposed for the
+    statistical regression tests of the sparse branch. *)
+val random_direction : Kregret_dataset.Rng.t -> int -> Kregret_geom.Vector.t

@@ -80,32 +80,82 @@ let save t ~points path =
         t.order_array)
 
 let load ~points path =
+  let fail fmt = Printf.ksprintf failwith fmt in
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let header = try input_line ic with End_of_file -> failwith "Stored_list.load: empty file" in
-      let expected =
-        Printf.sprintf "# kregret-stored-list v1 n=%d fp=%s"
-          (Array.length points) (fingerprint points)
+      let header =
+        try input_line ic
+        with End_of_file -> fail "Stored_list.load: %s: empty file" path
       in
-      if header <> expected then
-        failwith "Stored_list.load: fingerprint mismatch (different candidate set?)";
+      (* The old check compared the header against one expected string, so a
+         wrong count, a future format version and a stale fingerprint all
+         reported "fingerprint mismatch". Parse the fields and name the
+         actual failure. *)
+      let version, file_n, file_fp =
+        try
+          Scanf.sscanf header "# kregret-stored-list v%d n=%d fp=%s"
+            (fun v n fp -> (v, n, fp))
+        with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+          fail "Stored_list.load: %s: not a stored-list file (header %S)" path
+            header
+      in
+      if version <> 1 then
+        fail
+          "Stored_list.load: %s: unsupported format version v%d (this build \
+           reads v1)"
+          path version;
+      let n = Array.length points in
+      if file_n <> n then
+        fail
+          "Stored_list.load: %s: candidate count mismatch (list built for \
+           n=%d, candidate set has n=%d)"
+          path file_n n;
+      let fp = fingerprint points in
+      if not (String.equal file_fp fp) then
+        fail
+          "Stored_list.load: %s: fingerprint mismatch (list built from a \
+           different candidate set: file has %s, data hashes to %s)"
+          path file_fp fp;
       let order = ref [] and mrrs = ref [] in
+      let lineno = ref 1 in
       (try
          while true do
            let line = input_line ic in
-           if String.trim line <> "" then
-             Scanf.sscanf line "%d %f" (fun idx mrr ->
-                 if idx < 0 || idx >= Array.length points then
-                   failwith "Stored_list.load: index out of range";
-                 order := idx :: !order;
-                 mrrs := mrr :: !mrrs)
+           incr lineno;
+           if String.trim line <> "" then begin
+             (* [sscanf "%d %f"] raises [End_of_file] — not [Scan_failure] —
+                on a truncated line like "5"; the old loop let it escape to
+                the end-of-lines handler and silently dropped the rest of
+                the file. Catch it per line and report the position. *)
+             let idx, mrr =
+               try
+                 Scanf.sscanf line " %d %f %s" (fun idx mrr rest ->
+                     if rest <> "" then
+                       fail "Stored_list.load: %s:%d: trailing garbage %S"
+                         path !lineno rest;
+                     (idx, mrr))
+               with
+               | Scanf.Scan_failure _ ->
+                   fail "Stored_list.load: %s:%d: malformed entry %S" path
+                     !lineno line
+               | End_of_file ->
+                   fail
+                     "Stored_list.load: %s:%d: truncated entry %S (expected \
+                      \"<index> <mrr>\")"
+                     path !lineno line
+             in
+             if idx < 0 || idx >= n then
+               fail "Stored_list.load: %s:%d: index %d out of range [0, %d)"
+                 path !lineno idx n;
+             if Float.is_nan mrr then
+               fail "Stored_list.load: %s:%d: mrr is NaN" path !lineno;
+             order := idx :: !order;
+             mrrs := mrr :: !mrrs
+           end
          done
-       with
-      | End_of_file -> ()
-      | Scanf.Scan_failure _ | Failure _ ->
-          failwith "Stored_list.load: malformed entry");
+       with End_of_file -> ());
       {
         order_array = Array.of_list (List.rev !order);
         mrr_after = Array.of_list (List.rev !mrrs);

@@ -43,6 +43,10 @@ val order : t -> int list
 val save : t -> points:Kregret_geom.Vector.t array -> string -> unit
 
 (** [load ~points path] restores a materialized list saved with {!save}.
-    Raises [Failure] when the file is malformed or when the fingerprint does
-    not match [points] (the list would silently index the wrong tuples). *)
+    Raises [Failure] with a message naming the file (and the line, for body
+    errors) when the file is not a stored list, uses an unsupported format
+    version, was built for a different candidate count, carries a
+    fingerprint that does not hash-match [points] (the list would silently
+    index the wrong tuples), or contains a truncated / malformed /
+    out-of-range / NaN entry. *)
 val load : points:Kregret_geom.Vector.t array -> string -> t

@@ -1,6 +1,27 @@
 module Vector = Kregret_geom.Vector
 module Dataset = Kregret_dataset.Dataset
 module Pool = Kregret_parallel.Pool
+module Obs = Kregret_obs
+
+(* Observability: accumulated per victim / per candidate — a pure function
+   of the input, never of the pool width (see PR 1 determinism contract). *)
+let c_candidates =
+  Obs.Registry.counter "happy.candidates"
+    ~help:"skyline candidates screened for happiness"
+
+let c_kept =
+  Obs.Registry.counter "happy.kept" ~help:"happy points surviving the screen"
+
+let c_pruned =
+  Obs.Registry.counter "happy.pruned" ~help:"candidates pruned as subjugated"
+
+let c_probes =
+  Obs.Registry.counter "happy.subjugation_probes"
+    ~help:"pairwise subjugation probes performed"
+
+let c_cut_vertices =
+  Obs.Registry.counter "happy.cut_box_vertices"
+    ~help:"dual vertices enumerated across all cut boxes"
 
 let default_eps = 1e-9
 
@@ -54,9 +75,12 @@ let is_happy ?(eps = default_eps) ~candidates p =
 let happy_points ?(eps = default_eps) points =
   let n = Array.length points in
   (* each [Q_q] vertex enumeration is independent: fan out over the pool *)
+  Obs.Counter.add c_candidates n;
   let vertex_sets = Array.make n [] in
   Pool.parallel_for ~lo:0 ~hi:n (fun i ->
-      vertex_sets.(i) <- cut_box_vertices ~eps points.(i));
+      let vs = cut_box_vertices ~eps points.(i) in
+      Obs.Counter.add c_cut_vertices (List.length vs);
+      vertex_sets.(i) <- vs);
   (* probe strong subjugators first: a point with a large coordinate sum has
      a large [P_q] and disqualifies most victims, so the inner loop's early
      exit fires after a handful of probes instead of O(n) *)
@@ -72,9 +96,11 @@ let happy_points ?(eps = default_eps) points =
   Pool.parallel_for ~lo:0 ~hi:n (fun i ->
       let p = points.(i) in
       let subjugated = ref false in
+      let probes = ref 0 in
       Array.iter
         (fun j ->
           if (not !subjugated) && j <> i then begin
+            incr probes;
             let q = points.(j) in
             if
               (not (Vector.equal ~eps:0. q p))
@@ -83,12 +109,17 @@ let happy_points ?(eps = default_eps) points =
             then subjugated := true
           end)
         probe_order;
+      Obs.Counter.add c_probes !probes;
       keep.(i) <- not !subjugated);
   let out = ref [] in
   for i = n - 1 downto 0 do
     if keep.(i) then out := i :: !out
   done;
-  Array.of_list !out
+  let result = Array.of_list !out in
+  let kept = Array.length result in
+  Obs.Counter.add c_kept kept;
+  Obs.Counter.add c_pruned (n - kept);
+  result
 
 let of_dataset ?eps ds =
   let sky = Kregret_skyline.Skyline.of_dataset ds in

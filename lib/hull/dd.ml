@@ -1,5 +1,27 @@
 module Vector = Kregret_geom.Vector
 module Matrix = Kregret_geom.Matrix
+module Obs = Kregret_obs
+
+(* Observability: the double-description walk is sequential, so every count
+   is a pure function of the constraint sequence. *)
+let c_created =
+  Obs.Registry.counter "dd.vertices_created"
+    ~help:"vertices materialised (seed corners + cut intersections)"
+
+let c_dropped =
+  Obs.Registry.counter "dd.vertices_dropped"
+    ~help:"vertices removed as cut off by a new constraint"
+
+let c_constraints =
+  Obs.Registry.counter "dd.constraints" ~help:"user constraints inserted"
+
+let c_redundant =
+  Obs.Registry.counter "dd.redundant_constraints"
+    ~help:"inserted constraints that cut no vertex"
+
+let c_dedup =
+  Obs.Registry.counter "dd.dedup_hits"
+    ~help:"candidate vertices rejected as duplicates of an accepted vertex"
 
 type vertex = { id : int; w : Vector.t; tight : int array }
 
@@ -67,6 +89,7 @@ let compute_tight t w =
   Array.of_list !out
 
 let fresh_vertex t w =
+  Obs.Counter.incr c_created;
   let id = t.next_id in
   t.next_id <- id + 1;
   let v = { id; w; tight = compute_tight t w } in
@@ -148,6 +171,7 @@ let adjacent t u v =
 let add_constraint t ~normal ~offset =
   if Vector.dim normal <> t.d then
     invalid_arg "Dd.add_constraint: dimension mismatch";
+  Obs.Counter.incr c_constraints;
   let slacks = Hashtbl.create (num_vertices t) in
   let cut = ref [] and kept_strict = ref [] and on = ref [] in
   Hashtbl.iter
@@ -170,7 +194,9 @@ let add_constraint t ~normal ~offset =
       !on
   in
   match !cut with
-  | [] -> { removed = []; created = []; touched; redundant = true }
+  | [] ->
+      Obs.Counter.incr c_redundant;
+      { removed = []; created = []; touched; redundant = true }
   | cut_list ->
       (* candidate new vertices: intersections of edges (u kept, v cut) *)
       let created = ref [] in
@@ -215,7 +241,8 @@ let add_constraint t ~normal ~offset =
       in
       List.iter (fun v -> remember v.w) !on;
       let consider x =
-        if not (dup x) then begin
+        if dup x then Obs.Counter.incr c_dedup
+        else begin
           remember x;
           created := fresh_vertex t x :: !created
         end
@@ -233,6 +260,7 @@ let add_constraint t ~normal ~offset =
             !kept_strict)
         cut_list;
       List.iter (fun v -> Hashtbl.remove t.vertices v.id) cut_list;
+      Obs.Counter.add c_dropped (List.length cut_list);
       ignore j;
       {
         removed = List.map (fun v -> v.id) cut_list;

@@ -1,3 +1,20 @@
+module Obs = Kregret_obs
+
+(* Observability: each solve's pivot trail is a pure function of the LP
+   instance (Dantzig then Bland are both deterministic rules), so totals are
+   identical however calls are distributed across domains. *)
+let c_solves = Obs.Registry.counter "simplex.solves" ~help:"LPs solved"
+let c_pivots = Obs.Registry.counter "simplex.pivots" ~help:"pivot operations"
+
+let c_bland =
+  Obs.Registry.counter "simplex.bland_activations"
+    ~help:"iteration runs that exhausted the Dantzig budget and fell back to \
+           Bland's rule"
+
+let c_infeasible =
+  Obs.Registry.counter "simplex.phase1_infeasibilities"
+    ~help:"solves whose phase-1 optimum stayed positive (infeasible LPs)"
+
 type relation = Le | Ge | Eq
 type constr = { coeffs : float array; relation : relation; rhs : float }
 
@@ -97,6 +114,7 @@ let reduced_costs t cost =
   row
 
 let pivot t obj_row ~row ~col =
+  Obs.Counter.incr c_pivots;
   let pr = t.rows.(row) in
   let piv = pr.(col) in
   for j = 0 to t.ncols do
@@ -124,6 +142,7 @@ let iterate ~eps t obj_row ~allowed =
   while !result = None do
     incr iter;
     let bland = !iter > max_dantzig in
+    if !iter = max_dantzig + 1 then Obs.Counter.incr c_bland;
     (* entering column *)
     let enter = ref (-1) in
     if bland then begin
@@ -181,6 +200,7 @@ let extract_solution t =
 let minimize ?(eps = 1e-9) ~nvars ~objective constraints =
   if Array.length objective <> nvars then
     invalid_arg "Simplex.minimize: objective width mismatch";
+  Obs.Counter.incr c_solves;
   let t = build ~nvars constraints in
   let m = Array.length t.rows in
   (* Phase 1: minimize the sum of artificial variables. *)
@@ -219,7 +239,10 @@ let minimize ?(eps = 1e-9) ~nvars ~objective constraints =
       end
     end
   in
-  if not feasible then Infeasible
+  if not feasible then begin
+    Obs.Counter.incr c_infeasible;
+    Infeasible
+  end
   else begin
     let cost2 = Array.make t.ncols 0. in
     Array.blit objective 0 cost2 0 nvars;

@@ -1,0 +1,18 @@
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+(* One mutex guards metric interning, per-domain cell registration and
+   snapshots. Registration is rare (once per metric per domain) and
+   snapshots run outside parallel regions, so contention is negligible. *)
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+(* [Sys.time] keeps the library stdlib-only; binaries install
+   [Unix.gettimeofday] for wall-clock span trees. *)
+let clock : (unit -> float) ref = ref Sys.time
+let set_clock f = clock := f
+let now () = !clock ()

@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  help : string;
+  cells : int ref list ref; (* under Control.locked *)
+  key : int ref Domain.DLS.key;
+}
+
+let make ~name ~help =
+  let cells = ref [] in
+  let key =
+    (* the initializer runs on each domain's first [DLS.get]: allocate this
+       domain's cell and register it so [value] can find it even after the
+       domain terminates (pool rebuilds keep the old cells' final counts) *)
+    Domain.DLS.new_key (fun () ->
+        let c = ref 0 in
+        Control.locked (fun () -> cells := c :: !cells);
+        c)
+  in
+  { name; help; cells; key }
+
+let name t = t.name
+let help t = t.help
+
+let add t n =
+  if Control.enabled () then begin
+    (* only the owning domain writes its cell: no lock, no race *)
+    let c = Domain.DLS.get t.key in
+    c := !c + n
+  end
+
+let incr t = add t 1
+
+let value t =
+  Control.locked (fun () ->
+      List.fold_left (fun acc c -> acc + !c) 0 !(t.cells))
+
+let touched t = Control.locked (fun () -> !(t.cells) <> [])
+let reset t = Control.locked (fun () -> List.iter (fun c -> c := 0) !(t.cells))

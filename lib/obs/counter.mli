@@ -1,0 +1,40 @@
+(** Monotone integer counters with per-domain accumulation.
+
+    Each domain that touches a counter gets its own cell (registered lazily
+    through domain-local storage), so increments from inside
+    [Kregret_parallel.Pool] regions never contend or race. {!value} merges
+    the cells by integer summation, which is exact, associative and
+    commutative — therefore a counter whose per-chunk contributions are a
+    pure function of the chunk's input range (the pool's determinism
+    contract) reads {e bit-identical} totals at every [KREGRET_JOBS] width.
+
+    Cells survive their domain: a pool rebuild (width change) spawns fresh
+    domains and fresh cells, but the old cells stay registered and keep
+    contributing their final counts to {!value}. *)
+
+type t
+
+val make : name:string -> help:string -> t
+(** Create an unregistered counter. Most callers want
+    {!Registry.counter}, which interns by name. *)
+
+val name : t -> string
+val help : t -> string
+
+val add : t -> int -> unit
+(** Add [n] to the calling domain's cell. No-op when {!Control.enabled} is
+    false (one atomic load). *)
+
+val incr : t -> unit
+(** [incr t] is [add t 1]. *)
+
+val value : t -> int
+(** Sum over every cell ever registered. Call outside parallel regions. *)
+
+val touched : t -> bool
+(** Whether any domain ever materialized a cell (i.e. the counter was hit
+    at least once while enabled). *)
+
+val reset : t -> unit
+(** Zero every cell (cells stay registered — domains keep their handle).
+    Call outside parallel regions. *)

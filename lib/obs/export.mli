@@ -1,0 +1,32 @@
+(** Exporters: a self-contained JSON document and a human-readable table.
+
+    JSON schema ([kregret-obs/v1]):
+
+    {[
+      {
+        "schema": "kregret-obs/v1",
+        "counters":   { "<name>": <int>, ... },
+        "gauges":     { "<name>": <float>, ... },
+        "histograms": { "<name>": { "count": <int>, "sum": <float>,
+                                    "buckets": [ {"le": <float|"inf">,
+                                                  "count": <int>}, ... ] } },
+        "spans": [ { "name": "<name>", "seconds": <float>, "count": <int>,
+                     "children": [ ... ] }, ... ]
+      }
+    ]}
+
+    Only touched, non-zero metrics appear (see {!Registry.counters}); a run
+    with observability disabled exports empty sections. Counter values are
+    bit-identical across [KREGRET_JOBS] widths; span seconds and histogram
+    sums are timing-dependent. *)
+
+val to_json : unit -> string
+(** The current registry + span snapshot as a JSON document (trailing
+    newline included). *)
+
+val write : path:string -> unit
+(** Write {!to_json} to [path] (truncating). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable dump: counters/gauges aligned in columns, histograms as
+    count/sum lines, spans as an indented tree. *)

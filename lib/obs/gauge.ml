@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  help : string;
+  mutable v : float; (* under Control.locked *)
+  mutable written : bool; (* under Control.locked *)
+}
+
+let make ~name ~help = { name; help; v = 0.; written = false }
+let name t = t.name
+let help t = t.help
+
+let set t x =
+  if Control.enabled () then
+    Control.locked (fun () ->
+        t.v <- x;
+        t.written <- true)
+
+let set_int t n = set t (float_of_int n)
+let value t = Control.locked (fun () -> t.v)
+let touched t = Control.locked (fun () -> t.written)
+
+let reset t =
+  Control.locked (fun () ->
+      t.v <- 0.;
+      t.written <- false)

@@ -1,0 +1,74 @@
+type snapshot = { count : int; sum : float; buckets : (float * int) list }
+
+type cell = { counts : int array; mutable sum : float; mutable n : int }
+
+type t = {
+  name : string;
+  help : string;
+  buckets : float array;
+  cells : cell list ref; (* under Control.locked *)
+  key : cell Domain.DLS.key;
+}
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+let make ?(buckets = default_buckets) ~name ~help () =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Kregret_obs.Histogram.make: buckets must be increasing")
+    buckets;
+  let nb = Array.length buckets in
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = { counts = Array.make (nb + 1) 0; sum = 0.; n = 0 } in
+        Control.locked (fun () -> cells := c :: !cells);
+        c)
+  in
+  { name; help; buckets; cells; key }
+
+let name t = t.name
+let help t = t.help
+
+let observe t x =
+  if Control.enabled () then begin
+    let c = Domain.DLS.get t.key in
+    let nb = Array.length t.buckets in
+    let i = ref 0 in
+    while !i < nb && x > t.buckets.(!i) do
+      incr i
+    done;
+    c.counts.(!i) <- c.counts.(!i) + 1;
+    c.sum <- c.sum +. x;
+    c.n <- c.n + 1
+  end
+
+let snapshot t =
+  Control.locked (fun () ->
+      let nb = Array.length t.buckets in
+      let counts = Array.make (nb + 1) 0 in
+      let sum = ref 0. and n = ref 0 in
+      List.iter
+        (fun c ->
+          Array.iteri (fun i x -> counts.(i) <- counts.(i) + x) c.counts;
+          sum := !sum +. c.sum;
+          n := !n + c.n)
+        !(t.cells);
+      let merged =
+        List.init (nb + 1) (fun i ->
+            ((if i < nb then t.buckets.(i) else infinity), counts.(i)))
+      in
+      ({ count = !n; sum = !sum; buckets = merged } : snapshot))
+
+let touched t = Control.locked (fun () -> !(t.cells) <> [])
+
+let reset t =
+  Control.locked (fun () ->
+      List.iter
+        (fun c ->
+          Array.fill c.counts 0 (Array.length c.counts) 0;
+          c.sum <- 0.;
+          c.n <- 0)
+        !(t.cells))

@@ -1,0 +1,31 @@
+(** Scoped timers forming a trace tree.
+
+    [with_ "query" f] opens a span around [f]; spans opened inside [f]
+    become children. Repeated spans with the same name under the same parent
+    aggregate (total seconds + hit count), so per-iteration spans stay O(1)
+    in memory. Each domain keeps its own tree (domain-local storage);
+    {!snapshot} merges all domains' trees by name, so the odd span opened
+    from a pool worker still shows up.
+
+    Timing uses {!Control.now} — install [Unix.gettimeofday] via
+    {!Control.set_clock} for wall-clock trees (the default [Sys.time] is
+    processor time). *)
+
+type snapshot = {
+  name : string;
+  seconds : float;
+  count : int;
+  children : snapshot list;  (** sorted by name *)
+}
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span. Transparent (one atomic load) while
+    {!Control.enabled} is false. Exceptions propagate; the span still
+    closes. *)
+
+val snapshot : unit -> snapshot list
+(** The merged root-level spans, sorted by name. Call outside parallel
+    regions. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans (open spans keep timing into fresh nodes). *)

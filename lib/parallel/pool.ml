@@ -23,6 +23,40 @@
      left-to-right on the caller. Parallelism decides only *when* a chunk
      runs, never *what* it computes or how results combine. *)
 
+module Obs = Kregret_obs
+
+(* Observability. [regions]/[chunks] are pure functions of the call sites
+   and index ranges — never of the pool width — so they are bit-identical
+   across KREGRET_JOBS values. [chunk_seconds] records per-chunk busy time
+   (total busy seconds = its sum); its values are timing-dependent. *)
+let c_regions =
+  Obs.Registry.counter "pool.regions" ~help:"parallel regions executed"
+
+let c_single =
+  Obs.Registry.counter "pool.single_chunk_regions"
+    ~help:"regions whose range produced a single chunk (always run inline)"
+
+let c_chunks =
+  Obs.Registry.counter "pool.chunks" ~help:"chunks executed across all regions"
+
+let g_width = Obs.Registry.gauge "pool.width" ~help:"domains in the global pool"
+
+let h_chunk_seconds =
+  Obs.Registry.histogram "pool.chunk_seconds"
+    ~help:"per-chunk busy time, seconds (sum = total busy time)"
+
+(* time one chunk body only when recording, to avoid two clock reads per
+   chunk on the fast path *)
+let timed_chunk body c =
+  if Obs.Control.enabled () then begin
+    let t0 = Obs.Control.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Histogram.observe h_chunk_seconds (Obs.Control.now () -. t0))
+      (fun () -> body c)
+  end
+  else body c
+
 type job = {
   body : int -> unit; (* receives a chunk index in [0, count) *)
   count : int;
@@ -98,6 +132,7 @@ let create ~jobs =
   in
   t.workers <-
     List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  Obs.Gauge.set_int g_width jobs;
   t
 
 let shutdown t =
@@ -117,17 +152,23 @@ let run_chunks t ~chunks body =
   if chunks > 0 then begin
     if t.stop then
       invalid_arg "Kregret_parallel.Pool: pool already shut down";
-    if t.jobs = 1 || chunks = 1 then
+    Obs.Counter.incr c_regions;
+    Obs.Counter.add c_chunks chunks;
+    (* [chunks = 1] is a property of the range, not the width — counting the
+       jobs=1 inline path here instead would break cross-width bit-identity *)
+    if chunks = 1 then Obs.Counter.incr c_single;
+    if t.jobs = 1 || chunks = 1 then begin
       (* inline: no pool machinery, exceptions propagate naturally *)
       for c = 0 to chunks - 1 do
-        body c
+        timed_chunk body c
       done
+    end
     else begin
       if not (Atomic.compare_and_set t.busy false true) then
         invalid_arg "Kregret_parallel.Pool: nested parallel region";
       let job =
         {
-          body;
+          body = timed_chunk body;
           count = chunks;
           next = Atomic.make 0;
           unfinished = chunks;
@@ -166,7 +207,15 @@ let env_jobs () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some j when j >= 1 -> Some j
-      | _ -> None)
+      | _ ->
+          (* fall back to the default width, but say so: a silently ignored
+             KREGRET_JOBS=abc used to look exactly like a working override *)
+          Printf.eprintf
+            "kregret: warning: ignoring invalid KREGRET_JOBS=%s (expected an \
+             integer >= 1); using the default width\n\
+             %!"
+            (String.escaped s);
+          None)
 
 let get_jobs () =
   match !requested with

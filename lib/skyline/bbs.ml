@@ -1,4 +1,15 @@
 module Vector = Kregret_geom.Vector
+module Obs = Kregret_obs
+
+(* BBS is sequential; the heap pop order is a pure function of the tree, so
+   these counts are reproducible run to run. *)
+let c_node_visits =
+  Obs.Registry.counter "skyline.rtree_node_visits"
+    ~help:"R-tree nodes popped and expanded by BBS"
+
+let c_point_visits =
+  Obs.Registry.counter "skyline.rtree_point_visits"
+    ~help:"candidate points popped from the BBS heap"
 
 type entry = Node of Rtree.node | Point of int
 
@@ -25,6 +36,7 @@ let skyline (tree : Rtree.t) =
     | Some (_, entry) ->
         (match entry with
         | Node node ->
+            Obs.Counter.incr c_node_visits;
             let m = Rtree.mbr_of_node node in
             if not (covered !sky_points m.Rtree.high) then begin
               match node with
@@ -38,6 +50,7 @@ let skyline (tree : Rtree.t) =
               | Rtree.Inner (_, children) -> Array.iter push_node children
             end
         | Point i ->
+            Obs.Counter.incr c_point_visits;
             let p = tree.Rtree.points.(i) in
             if not (covered !sky_points p) then begin
               sky := i :: !sky;

@@ -1,6 +1,21 @@
 module Vector = Kregret_geom.Vector
 module Dataset = Kregret_dataset.Dataset
 module Pool = Kregret_parallel.Pool
+module Obs = Kregret_obs
+
+(* Observability: every count below is accumulated per point or per chunk —
+   a pure function of the input, never of the pool width — so the merged
+   totals are bit-identical across KREGRET_JOBS values. *)
+let c_scanned =
+  Obs.Registry.counter "skyline.points_scanned"
+    ~help:"points fed to a skyline computation"
+
+let c_dom =
+  Obs.Registry.counter "skyline.dominance_tests"
+    ~help:"pairwise dominance comparisons"
+
+let c_survivors =
+  Obs.Registry.counter "skyline.survivors" ~help:"skyline points returned"
 
 (* Each point's verdict is independent of the others', so the O(n^2) scan
    fans out across the domain pool; verdicts land in disjoint slots of
@@ -8,48 +23,61 @@ module Pool = Kregret_parallel.Pool
    makes the result identical for every pool width. *)
 let naive points =
   let n = Array.length points in
+  Obs.Counter.add c_scanned n;
   let keep = Array.make n false in
   Pool.parallel_for ~lo:0 ~hi:n (fun i ->
       let p = points.(i) in
       let excluded = ref false in
+      let tests = ref 0 in
       (* dominated by anyone, or duplicated by an earlier point *)
       for j = 0 to n - 1 do
-        if (not !excluded) && j <> i then
+        if (not !excluded) && j <> i then begin
+          incr tests;
           match Dominance.compare points.(j) p with
           | Dominance.Dominates -> excluded := true
           | Dominance.Equal when j < i -> excluded := true
           | Dominance.Equal | Dominance.Dominated | Dominance.Incomparable ->
               ()
+        end
       done;
+      Obs.Counter.add c_dom !tests;
       keep.(i) <- not !excluded);
   let out = ref [] in
   for i = n - 1 downto 0 do
     if keep.(i) then out := i :: !out
   done;
-  Array.of_list !out
+  let result = Array.of_list !out in
+  Obs.Counter.add c_survivors (Array.length result);
+  result
 
 let bnl points =
+  Obs.Counter.add c_scanned (Array.length points);
   let window = ref [] in
   Array.iteri
     (fun i p ->
       let survives = ref true in
+      let tests = ref 0 in
       let kept =
         List.filter
           (fun j ->
-            if !survives then
+            if !survives then begin
+              incr tests;
               match Dominance.compare points.(j) p with
               | Dominance.Dominates | Dominance.Equal ->
                   survives := false;
                   true
               | Dominance.Dominated -> false
               | Dominance.Incomparable -> true
+            end
             else true)
           !window
       in
+      Obs.Counter.add c_dom !tests;
       window := if !survives then i :: kept else kept)
     points;
   let result = Array.of_list !window in
   Array.sort compare result;
+  Obs.Counter.add c_survivors (Array.length result);
   result
 
 (* One monotone SFS pass over [idxs] (already in decreasing score order):
@@ -57,12 +85,16 @@ let bnl points =
    equals it. Returns the survivors in scan order. *)
 let sfs_pass points idxs =
   let window = ref [] in
+  (* comparison count is a function of the pass's input list alone; flushed
+     once per pass so parallel chunk passes stay width-invariant *)
+  let tests = ref 0 in
   List.iter
     (fun i ->
       let p = points.(i) in
       let excluded =
         List.exists
           (fun j ->
+            incr tests;
             match Dominance.compare points.(j) p with
             | Dominance.Dominates | Dominance.Equal -> true
             | Dominance.Dominated | Dominance.Incomparable -> false)
@@ -70,10 +102,12 @@ let sfs_pass points idxs =
       in
       if not excluded then window := i :: !window)
     idxs;
+  Obs.Counter.add c_dom !tests;
   List.rev !window
 
 let sfs points =
   let n = Array.length points in
+  Obs.Counter.add c_scanned n;
   let order = Array.init n Fun.id in
   let score = Array.map Vector.sum points in
   (* the sort stays sequential: it is O(n log n) against the O(n * |sky|)
@@ -99,6 +133,7 @@ let sfs points =
   in
   let result = Array.of_list (sfs_pass points survivors) in
   Array.sort compare result;
+  Obs.Counter.add c_survivors (Array.length result);
   result
 
 let of_dataset ?(algorithm = `Sfs) ds =

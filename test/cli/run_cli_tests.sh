@@ -64,4 +64,53 @@ if "$KREGRET" query --dist no_such_distribution -n 10 -k 2 > out.txt 2>&1; then
   fail "unknown distribution accepted"
 fi
 
+# --- --jobs validation -----------------------------------------------------------
+# a bad width is a *usage* error caught by the argument parser (exit 124),
+# not a mid-run failure (exit 1)
+set +e
+"$KREGRET" query data.csv -k 4 --jobs 0 > out.txt 2>&1
+rc=$?
+set -e
+[ "$rc" = "124" ] || fail "--jobs 0 should exit 124 (usage error), got $rc"
+expect "JOBS must be >= 1" out.txt
+
+set +e
+"$KREGRET" query data.csv -k 4 --jobs two > out.txt 2>&1
+rc=$?
+set -e
+[ "$rc" = "124" ] || fail "--jobs two should exit 124 (usage error), got $rc"
+expect "JOBS must be an integer" out.txt
+
+# a valid width runs, and matches the sequential answer
+"$KREGRET" query data.csv -k 6 -a geogreedy -c happy --jobs 2 > jobs2.txt
+jobs2_mrr=$(sed -n 's/^maximum regret ratio = //p' jobs2.txt)
+[ "$jobs2_mrr" = "$geo_mrr" ] || fail "--jobs 2 mrr ($jobs2_mrr) != default ($geo_mrr)"
+
+# an invalid KREGRET_JOBS falls back to the default width with a warning,
+# instead of being silently ignored
+KREGRET_JOBS=abc "$KREGRET" query data.csv -k 6 -a geogreedy -c happy > env.txt 2> env.err
+expect "ignoring invalid KREGRET_JOBS" env.err
+env_mrr=$(sed -n 's/^maximum regret ratio = //p' env.txt)
+[ "$env_mrr" = "$geo_mrr" ] || fail "KREGRET_JOBS=abc mrr ($env_mrr) != default ($geo_mrr)"
+
+# a valid KREGRET_JOBS is honored silently
+KREGRET_JOBS=2 "$KREGRET" query data.csv -k 6 -a geogreedy -c happy > env.txt 2> env.err
+test -s env.err && fail "KREGRET_JOBS=2 should not warn: $(cat env.err)"
+env_mrr=$(sed -n 's/^maximum regret ratio = //p' env.txt)
+[ "$env_mrr" = "$geo_mrr" ] || fail "KREGRET_JOBS=2 mrr ($env_mrr) != default ($geo_mrr)"
+
+# --- observability ---------------------------------------------------------------
+"$KREGRET" query data.csv -k 6 -a geogreedy -c happy --metrics metrics.json --stats > out.txt 2> stats.err
+test -f metrics.json || fail "--metrics did not write metrics.json"
+expect "kregret-obs/v1" metrics.json
+expect "skyline.points_scanned" metrics.json
+expect "geo_greedy.runs" metrics.json
+expect "counters" stats.err
+# identical run without the flags must not litter
+rm -f metrics.json
+"$KREGRET" query data.csv -k 6 -a geogreedy -c happy > plain.txt 2>&1
+query_line=$(sed -n 's/^maximum regret ratio.*/&/p' plain.txt)
+obs_line=$(sed -n 's/^maximum regret ratio.*/&/p' out.txt)
+[ "$query_line" = "$obs_line" ] || fail "observability changed the answer: '$obs_line' vs '$query_line'"
+
 say "all CLI checks passed"

@@ -31,5 +31,6 @@ let () =
       ("average-regret", Test_average_regret.suite);
       ("csv-io", Test_csv_io.suite);
       ("check", Test_check.suite);
+      ("obs", Test_obs.suite);
       ("corpus", Test_corpus.suite);
     ]

@@ -131,6 +131,36 @@ let test_mrr_dominated_data_point_irrelevant () =
     (Mrr.geometric ~data ~selected)
     (Mrr.geometric ~data:(dominated :: data) ~selected)
 
+(* Regression for the sparse branch of [random_direction]: it used to draw
+   its axes *with replacement*, so a draw of "support = s" produced s distinct
+   axes only when no collision occurred — at d = 6 a full-support sparse
+   direction appeared with probability 6!/6^6 ~ 1.5% of the s = 6 draws
+   instead of 100%, starving the estimator of high-support sparse probes.
+   Post-fix, the full-support frequency over the mixture is
+   1/2 + 1/2 * 1/d ~ 0.583 at d = 6; pre-fix it was ~0.501. The threshold
+   0.55 sits >4 sigma from both at 4000 draws, and the seed is pinned, so
+   the test is fully deterministic. *)
+let test_random_direction_distinct_axes () =
+  let d = 6 and draws = 4000 in
+  let rng = Rng.create 2014 in
+  let full = ref 0 and bad = ref 0 in
+  for _ = 1 to draws do
+    let w = Mrr.random_direction rng d in
+    if Vector.dim w <> d then incr bad;
+    if abs_float (Vector.norm w -. 1.) > 1e-9 then incr bad;
+    Array.iter (fun x -> if x < 0. then incr bad) w;
+    let support =
+      Array.fold_left (fun acc x -> if x > 0. then acc + 1 else acc) 0 w
+    in
+    if support = d then incr full
+  done;
+  Alcotest.(check int) "all draws are non-negative unit vectors of dim d" 0 !bad;
+  let freq = float_of_int !full /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "full-support frequency %.4f > 0.55 (distinct-axes sampling)" freq)
+    true (freq > 0.55)
+
 let suite =
   [
     Alcotest.test_case "rr: zero on covered weight" `Quick test_rr_zero_when_selection_contains_max;
@@ -145,6 +175,8 @@ let suite =
     Alcotest.test_case "sampled lower bound converges" `Quick test_sampled_converges;
     Alcotest.test_case "duplicate data irrelevant" `Quick test_mrr_invariant_under_data_duplicates;
     Alcotest.test_case "dominated data irrelevant" `Quick test_mrr_dominated_data_point_irrelevant;
+    Alcotest.test_case "random_direction samples distinct axes" `Quick
+      test_random_direction_distinct_axes;
     qcheck_case ~count:50 "mrr in [0,1) for nonempty selections"
       (qc_points ~n:15 ~d:3)
       (fun pts ->

@@ -267,3 +267,141 @@ let suite =
       qcheck_case ~count:300 "Ge-only LPs match vertex enumeration" qc_ge_lp_2d
         prop_ge_matches_brute_force;
     ]
+
+(* appended: degenerate and pathological programs. The LP layer backs both
+   the hybrid GeoGreedy fallback and Mrr.lp, so its rough edges — tied ratio
+   tests, all-zero rows, stated-twice equalities, anti-cycling — get pinned
+   here rather than discovered downstream. *)
+
+let test_tied_ratio_degenerate () =
+  (* entering x ties the ratio test between [x <= 1] and [x + y <= 1]; the
+     pivot lands on a degenerate vertex (one basic slack at 0) and the next
+     pivot must make progress anyway *)
+  let r =
+    Simplex.maximize ~nvars:2 ~objective:[| 2.; 1. |]
+      [ constr [| 1.; 0. |] Le 1.; constr [| 1.; 1. |] Le 1. ]
+  in
+  check_optimal "objective" 2. r;
+  match r with
+  | Simplex.Optimal { solution; _ } ->
+      check_float "x" 1. solution.(0);
+      check_float "y" 0. solution.(1)
+  | _ -> assert false
+
+let test_all_zero_rows_redundant () =
+  (* rows with an all-zero coefficient vector and a compatible rhs are
+     vacuous; they must survive phase 1 as redundant rows, not crash the
+     pivot selection on an empty column *)
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 1.; 1. |]
+      [
+        constr [| 1.; 1. |] Ge 2.;
+        constr [| 0.; 0. |] Le 0.;
+        constr [| 0.; 0. |] Eq 0.;
+        constr [| 0.; 0. |] Ge (-1.);
+      ]
+  in
+  check_optimal "objective" 2. r
+
+let test_all_zero_row_infeasible_eq () =
+  (* 0.x = 1 is unsatisfiable: phase 1 must report it, not "solve" it *)
+  let r =
+    Simplex.minimize ~nvars:1 ~objective:[| 1. |] [ constr [| 0. |] Eq 1. ]
+  in
+  Alcotest.(check bool) "0x = 1 infeasible" true (r = Simplex.Infeasible)
+
+let test_all_zero_row_infeasible_le () =
+  (* 0.x <= -1 normalizes to an artificial row phase 1 cannot drive out *)
+  let r =
+    Simplex.minimize ~nvars:1 ~objective:[| 1. |] [ constr [| 0. |] Le (-1.) ]
+  in
+  Alcotest.(check bool) "0x <= -1 infeasible" true (r = Simplex.Infeasible)
+
+let test_zero_objective () =
+  (* pure feasibility question: every feasible basis is optimal *)
+  let r =
+    Simplex.minimize ~nvars:1 ~objective:[| 0. |] [ constr [| 1. |] Ge 1. ]
+  in
+  check_optimal "objective" 0. r
+
+let test_scaled_redundant_equalities () =
+  (* the same hyperplane stated at two scales: rank deficiency that the
+     textbook duplicate-row test (equal rows) does not exercise *)
+  let r =
+    Simplex.minimize ~nvars:2 ~objective:[| 1.; 2. |]
+      [
+        constr [| 1.; 1. |] Eq 2.;
+        constr [| 2.; 2. |] Eq 4.;
+        constr [| 1.; 0. |] Le 1.5;
+      ]
+  in
+  check_optimal "objective" 2.5 r
+
+let test_bland_terminates_on_cycling_lp () =
+  (* Chvatal's classic cycling example: Dantzig's rule with naive
+     tie-breaking cycles forever on this program. The Dantzig->Bland switch
+     must terminate at the true optimum 1 = (1, 0, 1, 0). *)
+  let r =
+    Simplex.maximize ~nvars:4
+      ~objective:[| 10.; -57.; -9.; -24. |]
+      [
+        constr [| 0.5; -5.5; -2.5; 9. |] Le 0.;
+        constr [| 0.5; -1.5; -0.5; 1. |] Le 0.;
+        constr [| 1.; 0.; 0.; 0. |] Le 1.;
+      ]
+  in
+  check_optimal "objective" 1. r;
+  match r with
+  | Simplex.Optimal { solution; _ } ->
+      Alcotest.check vector "argmax" [| 1.; 0.; 1.; 0. |] solution
+  | _ -> assert false
+
+(* The pinned corpus repros are shrunk fuzzer failures — exactly the
+   degenerate geometries (duplicate points, near-ties) where the LP and the
+   geometric evaluator historically diverged. Re-check their agreement on a
+   realistic selection (GeoGreedy's own answer at the instance's k). *)
+
+module Corpus = Kregret_check.Corpus
+module Instance = Kregret_check.Instance
+module Mrr = Kregret.Mrr
+module Geo_greedy = Kregret.Geo_greedy
+
+let test_lp_agrees_with_geometric_on_corpus () =
+  let bases = Corpus.list ~dir:"corpus" in
+  Alcotest.(check bool)
+    (Printf.sprintf "corpus has repros (found %d)" (List.length bases))
+    true
+    (List.length bases >= 4);
+  List.iter
+    (fun base ->
+      let inst = Corpus.load ~dir:"corpus" base in
+      let points = inst.Instance.points in
+      let k = max 1 (min inst.Instance.k (Array.length points)) in
+      let r = Geo_greedy.run ~points ~k () in
+      let data = Array.to_list points in
+      let selected = List.map (fun i -> points.(i)) r.Geo_greedy.order in
+      check_float ~eps:1e-6
+        (base ^ ": Mrr.lp = Mrr.geometric")
+        (Mrr.geometric ~data ~selected)
+        (Mrr.lp ~data ~selected))
+    bases
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "tied ratio test (degenerate pivot)" `Quick
+        test_tied_ratio_degenerate;
+      Alcotest.test_case "all-zero rows are redundant" `Quick
+        test_all_zero_rows_redundant;
+      Alcotest.test_case "all-zero Eq row infeasible" `Quick
+        test_all_zero_row_infeasible_eq;
+      Alcotest.test_case "all-zero Le row infeasible" `Quick
+        test_all_zero_row_infeasible_le;
+      Alcotest.test_case "zero objective" `Quick test_zero_objective;
+      Alcotest.test_case "scaled redundant equalities" `Quick
+        test_scaled_redundant_equalities;
+      Alcotest.test_case "Bland terminates on Chvatal's cycling LP" `Quick
+        test_bland_terminates_on_cycling_lp;
+      Alcotest.test_case "Mrr.lp = Mrr.geometric on pinned corpus repros"
+        `Quick test_lp_agrees_with_geometric_on_corpus;
+    ]

@@ -104,6 +104,106 @@ let test_singleton () =
   Alcotest.(check (list int)) "singleton list" [ 0 ] (Stored_list.order sl);
   check_float "mrr 0 immediately" 0. (Stored_list.mrr_at sl ~k:1)
 
+(* ---- load failure modes (regressions for the defensive parser) ---------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let with_tmp lines f =
+  let path = Filename.temp_file "kregret_sl" ".list" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      f path)
+
+let expect_load_failure ~what ~needle points lines =
+  with_tmp lines (fun path ->
+      match Stored_list.load ~points path with
+      | _ -> Alcotest.failf "%s: load unexpectedly succeeded" what
+      | exception Failure msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S names the failure (%S)" what msg needle)
+            true
+            (contains ~needle msg))
+
+(* a tiny candidate set plus the exact lines [save] emits for it *)
+let saved_lines () =
+  let points = (Happy.of_dataset (anti 30 3 23)).Dataset.points in
+  let sl = Stored_list.preprocess points in
+  let lines =
+    with_tmp [] (fun path ->
+        Stored_list.save sl ~points path;
+        let ic = open_in path in
+        let out = ref [] in
+        (try
+           while true do
+             out := input_line ic :: !out
+           done
+         with End_of_file -> close_in ic);
+        List.rev !out)
+  in
+  (points, lines)
+
+let test_load_roundtrip () =
+  let points, lines = saved_lines () in
+  with_tmp lines (fun path ->
+      let sl = Stored_list.load ~points path in
+      let fresh = Stored_list.preprocess points in
+      Alcotest.(check (list int))
+        "round-trip preserves the order" (Stored_list.order fresh)
+        (Stored_list.order sl))
+
+let test_load_header_failures () =
+  let points, lines = saved_lines () in
+  let body = List.tl lines in
+  (* the three header modes must produce three *different* diagnoses *)
+  expect_load_failure ~what:"wrong count" ~needle:"candidate count mismatch"
+    points
+    (Printf.sprintf "# kregret-stored-list v1 n=%d fp=0123456789abcdef"
+       (Array.length points + 1)
+    :: body);
+  expect_load_failure ~what:"wrong version" ~needle:"unsupported format version"
+    points
+    (Printf.sprintf "# kregret-stored-list v2 n=%d fp=0123456789abcdef"
+       (Array.length points)
+    :: body);
+  expect_load_failure ~what:"wrong fingerprint" ~needle:"fingerprint mismatch"
+    points
+    (Printf.sprintf "# kregret-stored-list v1 n=%d fp=0123456789abcdef"
+       (Array.length points)
+    :: body);
+  expect_load_failure ~what:"not a list" ~needle:"not a stored-list file"
+    points ("x,y,z" :: body);
+  expect_load_failure ~what:"empty file" ~needle:"empty file" points []
+
+let test_load_body_failures () =
+  let points, lines = saved_lines () in
+  let header = List.hd lines and body = List.tl lines in
+  (* the old parser treated a truncated "<index>" line as end-of-input and
+     silently returned only the entries before it — this is the satellite's
+     headline regression *)
+  expect_load_failure ~what:"truncated line" ~needle:"truncated entry" points
+    ((header :: body) @ [ "5" ]);
+  expect_load_failure ~what:"malformed line" ~needle:"malformed entry" points
+    ((header :: body) @ [ "five 0.25" ]);
+  expect_load_failure ~what:"trailing garbage" ~needle:"trailing garbage"
+    points
+    ((header :: body) @ [ "0 0.25 junk" ]);
+  expect_load_failure ~what:"index out of range" ~needle:"out of range" points
+    ((header :: body) @ [ Printf.sprintf "%d 0.25" (Array.length points) ]);
+  expect_load_failure ~what:"negative index" ~needle:"out of range" points
+    ((header :: body) @ [ "-1 0.25" ]);
+  (* Scanf's %f refuses the token "nan", so a NaN entry is rejected at the
+     parse level as malformed (the explicit is_nan guard in [load] covers
+     any float syntax %f does accept) *)
+  expect_load_failure ~what:"NaN mrr rejected" ~needle:"entry" points
+    ((header :: body) @ [ "0 nan" ])
+
 let suite =
   [
     Alcotest.test_case "prefix property vs fresh GeoGreedy runs" `Quick
@@ -114,4 +214,9 @@ let suite =
       `Quick test_max_length_truncation;
     Alcotest.test_case "queries are idempotent" `Quick test_query_idempotent;
     Alcotest.test_case "singleton candidate set" `Quick test_singleton;
+    Alcotest.test_case "save/load round-trips" `Quick test_load_roundtrip;
+    Alcotest.test_case "load names each header failure mode" `Quick
+      test_load_header_failures;
+    Alcotest.test_case "load rejects truncated and malformed entries" `Quick
+      test_load_body_failures;
   ]
