@@ -1,0 +1,378 @@
+(* kregret_serve — StoredList-backed k-regret query server over a
+   Unix-domain socket, speaking the line-oriented JSON protocol
+   [kregret-serve/v1] (see lib/serve/protocol.mli).
+
+   Server mode (default): bind --socket, optionally --preload datasets,
+   serve until a [shutdown] request (or SIGINT/SIGTERM) arrives.
+
+   Client mode (--client): connect to --socket and run the commands given
+   as positional arguments (shorthand verbs or raw JSON frames; reads
+   stdin when none are given), printing one raw response line per request.
+
+   Exit status: 0 = success, 1 = a request failed / server error,
+   124 = bad usage. *)
+
+open Cmdliner
+module Serve = Kregret_serve
+module Pool = Kregret_parallel.Pool
+module Obs = Kregret_obs
+
+let with_obs (metrics, stats) f =
+  if metrics <> None || stats then begin
+    Obs.Control.set_clock Unix.gettimeofday;
+    Obs.Control.set_enabled true
+  end;
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with
+      | Some path -> Obs.Export.write ~path
+      | None -> ());
+      if stats then Obs.Export.pp_table Format.err_formatter ())
+    f
+
+(* ---- client mode --------------------------------------------------------- *)
+
+(* Translate a shorthand command to one request frame. *)
+let frame_of_command = function
+  | [ "ping" ] -> Ok (`Send [ ("op", Serve.Json.Str "ping") ])
+  | [ "list" ] -> Ok (`Send [ ("op", Serve.Json.Str "list") ])
+  | [ "stats" ] -> Ok (`Send [ ("op", Serve.Json.Str "stats") ])
+  | [ "shutdown" ] -> Ok (`Send [ ("op", Serve.Json.Str "shutdown") ])
+  | [ "evict" ] -> Ok (`Send [ ("op", Serve.Json.Str "evict") ])
+  | [ "evict"; name ] ->
+      Ok (`Send [ ("op", Serve.Json.Str "evict"); ("name", Serve.Json.Str name) ])
+  | [ "load"; name; path ] ->
+      Ok
+        (`Send
+          [
+            ("op", Serve.Json.Str "load");
+            ("name", Serve.Json.Str name);
+            ("path", Serve.Json.Str path);
+          ])
+  | [ "wait"; name ] -> Ok (`Wait name)
+  | [ op; name; k ] when op = "query" || op = "mrr" -> (
+      match int_of_string_opt k with
+      | Some k ->
+          Ok
+            (`Send
+              [
+                ("op", Serve.Json.Str op);
+                ("name", Serve.Json.Str name);
+                ("k", Serve.Json.int k);
+              ])
+      | None -> Error (Printf.sprintf "%s: K must be an integer, got %S" op k))
+  | cmd ->
+      Error
+        (Printf.sprintf
+           "unknown command %S (expected: ping | list | stats | shutdown | \
+            evict [NAME] | load NAME PATH | query NAME K | mrr NAME K | wait \
+            NAME, or a raw JSON frame)"
+           (String.concat " " cmd))
+
+(* Group the positional words into commands: a word starting with '{' is a
+   complete raw frame; otherwise a verb consumes its fixed argument count. *)
+let rec group_commands = function
+  | [] -> Ok []
+  | raw :: rest when String.length raw > 0 && raw.[0] = '{' ->
+      Result.map (fun cmds -> `Raw raw :: cmds) (group_commands rest)
+  | verb :: rest ->
+      let arity =
+        match verb with
+        | "ping" | "list" | "stats" | "shutdown" -> Ok 0
+        | "wait" -> Ok 1
+        | "query" | "mrr" -> Ok 2
+        | "load" -> Ok 2
+        | "evict" ->
+            (* greedy 1-arg unless the next word is a verb or raw frame *)
+            Ok
+              (match rest with
+              | next :: _
+                when next.[0] <> '{'
+                     && not
+                          (List.mem next
+                             [
+                               "ping"; "list"; "stats"; "shutdown"; "evict";
+                               "load"; "query"; "mrr"; "wait";
+                             ]) ->
+                  1
+              | _ -> 0)
+        | _ -> Error (Printf.sprintf "unknown command %S" verb)
+      in
+      Result.bind arity (fun n ->
+          if List.length rest < n then
+            Error (Printf.sprintf "%s: expected %d argument(s)" verb n)
+          else
+            let args = List.filteri (fun i _ -> i < n) rest in
+            let rest = List.filteri (fun i _ -> i >= n) rest in
+            Result.bind (frame_of_command (verb :: args)) (fun cmd ->
+                Result.map (fun cmds -> cmd :: cmds) (group_commands rest)))
+
+let read_stdin_frames () =
+  let rec go acc =
+    match In_channel.input_line stdin with
+    | None -> List.rev acc
+    | Some line when String.trim line = "" -> go acc
+    | Some line -> go (`Raw (String.trim line) :: acc)
+  in
+  go []
+
+let run_client ~socket_path ~timeout commands =
+  match group_commands commands with
+  | Error m ->
+      Fmt.epr "kregret_serve: %s@." m;
+      124
+  | Ok cmds -> (
+      let cmds = if cmds = [] then read_stdin_frames () else cmds in
+      match Serve.Client.connect ~timeout ~socket_path () with
+      | Error m ->
+          Fmt.epr "kregret_serve: connect %s: %s@." socket_path m;
+          1
+      | Ok client ->
+          let ok = ref true in
+          let send_raw line =
+            match Serve.Client.request_raw client line with
+            | Error m ->
+                ok := false;
+                Fmt.epr "kregret_serve: %s@." m
+            | Ok resp ->
+                print_endline resp;
+                (match Serve.Json.parse resp with
+                | Ok j
+                  when Serve.Json.member "ok" j = Some (Serve.Json.Bool true) ->
+                    ()
+                | Ok _ | Error _ -> ok := false)
+          in
+          List.iter
+            (fun cmd ->
+              match cmd with
+              | `Raw line -> send_raw line
+              | `Send fields ->
+                  send_raw (Serve.Json.to_string (Serve.Json.Obj fields))
+              | `Wait name -> (
+                  match Serve.Client.wait_ready client ~name with
+                  | Ok () ->
+                      print_endline
+                        (Serve.Protocol.ok_response
+                           [
+                             ("op", Serve.Json.Str "wait");
+                             ("name", Serve.Json.Str name);
+                             ("status", Serve.Json.Str "ready");
+                           ])
+                  | Error m ->
+                      ok := false;
+                      Fmt.epr "kregret_serve: wait %s: %s@." name m))
+            cmds;
+          Serve.Client.close client;
+          if !ok then 0 else 1)
+
+(* ---- server mode --------------------------------------------------------- *)
+
+let parse_preload spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 && i < String.length spec - 1 ->
+      Ok (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  | _ -> Error (Printf.sprintf "--preload expects NAME=PATH, got %S" spec)
+
+let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
+    ~quiet () =
+  let preloads =
+    List.map
+      (fun spec ->
+        match parse_preload spec with
+        | Ok p -> p
+        | Error m ->
+            Fmt.epr "kregret_serve: %s@." m;
+            exit 124)
+      preload
+  in
+  let config =
+    Serve.Server.config ~cache_capacity:cache_size ~max_line ~retry_after
+      ?max_length:max_k ~socket_path ()
+  in
+  match Serve.Server.start config with
+  | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "kregret_serve: cannot bind %s: %s@." socket_path
+        (Unix.error_message e);
+      1
+  | server ->
+      let stop _ = Serve.Server.signal_stop server in
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+       with Invalid_argument _ | Sys_error _ -> ());
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+       with Invalid_argument _ | Sys_error _ -> ());
+      let registry = Serve.Server.registry server in
+      let preload_failed = ref false in
+      List.iter
+        (fun (name, path) ->
+          match Serve.Registry.load registry ~name ~path with
+          | Ok _ -> if not quiet then Fmt.epr "preloading %s (%s)@." name path
+          | Error m ->
+              preload_failed := true;
+              Fmt.epr "kregret_serve: preload %s: %s@." name m)
+        preloads;
+      if !preload_failed then begin
+        Serve.Server.stop server;
+        1
+      end
+      else begin
+        if not quiet then
+          Fmt.epr "kregret_serve: listening on %s (cache %d, jobs %d)@."
+            socket_path cache_size (Pool.get_jobs ());
+        Serve.Server.wait server;
+        if not quiet then Fmt.epr "kregret_serve: stopped@.";
+        0
+      end
+
+(* ---- cmdliner ------------------------------------------------------------ *)
+
+let run client socket timeout cache_size max_line retry_after max_k preload jobs
+    quiet obs commands =
+  with_obs obs @@ fun () ->
+  Pool.set_jobs jobs;
+  if client then run_client ~socket_path:socket ~timeout commands
+  else if commands <> [] then begin
+    Fmt.epr
+      "kregret_serve: positional commands are only valid with --client@.";
+    124
+  end
+  else
+    run_server ~socket_path:socket ~cache_size ~max_line ~retry_after ~max_k
+      ~preload ~quiet ()
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string (Filename.concat (Filename.get_temp_dir_name ()) "kregret-serve.sock")
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to bind (server) or connect to (client).")
+
+let client_arg =
+  Arg.(
+    value & flag
+    & info [ "client" ]
+        ~doc:
+          "Client mode: connect to $(b,--socket) and run the $(i,COMMAND) \
+           arguments (or JSON frames from stdin), printing one raw response \
+           line per request. Exits 1 if any response is not ok.")
+
+let timeout_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Client receive timeout per response.")
+
+let cache_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Result-cache capacity in entries; 0 disables caching.")
+
+let max_line_arg =
+  Arg.(
+    value
+    & opt int Serve.Protocol.default_max_line
+    & info [ "max-line" ] ~docv:"BYTES" ~doc:"Per-frame size limit.")
+
+let retry_after_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "retry-after" ] ~docv:"SECONDS"
+        ~doc:"Hint attached to $(i,building) errors.")
+
+let max_k_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-k" ] ~docv:"K"
+        ~doc:
+          "Cap StoredList materialization at $(docv) points per dataset; \
+           queries beyond the cap return the whole materialized list.")
+
+let preload_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "preload" ] ~docv:"NAME=PATH"
+        ~doc:"Load a CSV dataset at startup (repeatable).")
+
+(* validated at parse time: a bad --jobs is a usage error (exit 124) *)
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> Ok j
+    | Some j -> Error (`Msg (Printf.sprintf "JOBS must be >= 1 (got %d)" j))
+    | None -> Error (`Msg (Printf.sprintf "JOBS must be an integer, got %S" s))
+  in
+  Arg.conv ~docv:"JOBS" (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv (Pool.get_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Pool width for dataset builds. Served answers are bit-identical \
+           at any width.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress logging.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"PATH"
+        ~doc:
+          "Enable observability and write a kregret-obs/v1 JSON metrics \
+           snapshot to $(docv) on exit.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable observability and print a human-readable metrics table to \
+           stderr on exit.")
+
+let obs_term = Term.(const (fun m s -> (m, s)) $ metrics_arg $ stats_arg)
+
+let commands_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"COMMAND"
+        ~doc:
+          "Client-mode commands: $(b,ping), $(b,list), $(b,stats), \
+           $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH, $(b,query) \
+           NAME K, $(b,mrr) NAME K, $(b,wait) NAME, or a raw JSON frame \
+           (anything starting with '{').")
+
+let cmd =
+  let doc = "serve k-regret queries from precomputed StoredLists" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the offline pipeline of the paper (skyline filter, happy-point \
+         reduction, GeoGreedy materialization) once per loaded dataset, in \
+         the background, then answers every $(i,query)/$(i,mrr) request as \
+         an O(k) StoredList prefix read — with an LRU result cache and \
+         single-flight coalescing of concurrent identical queries on top. \
+         The wire protocol is one JSON object per line over a Unix-domain \
+         socket (kregret-serve/v1).";
+      `S Manpage.s_examples;
+      `Pre
+        "  kregret_serve --socket /tmp/kr.sock --preload nba=nba.csv &\n\
+        \  kregret_serve --socket /tmp/kr.sock --client wait nba query nba 5\n\
+        \  echo '{\"op\":\"stats\"}' | kregret_serve --socket /tmp/kr.sock \
+         --client\n\
+        \  kregret_serve --socket /tmp/kr.sock --client shutdown";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "kregret_serve" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ client_arg $ socket_arg $ timeout_arg $ cache_arg
+      $ max_line_arg $ retry_after_arg $ max_k_arg $ preload_arg $ jobs_arg
+      $ quiet_arg $ obs_term $ commands_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -32,6 +32,8 @@ let check_names =
     "mrr-in-unit";
     "optimal2d";
     "jobs-invariance";
+    "serve";
+    "serve-protocol";
     "exception";
   ]
 
@@ -219,6 +221,13 @@ let check_inner cfg inst =
     if not (Float.equal r2.sampled r1.sampled) then
       record "jobs-invariance" [ jmsg "sampled mrr" ]
   end;
+
+  (* the serving subsystem answers with the offline bits, over the wire
+     (builds run on the server's single worker thread, so the pool region
+     never nests with ours) *)
+  List.iter
+    (fun (check, message) -> failures := !failures @ [ { check; message } ])
+    (with_jobs 1 (fun () -> Serve_oracle.check inst));
   !failures
 
 module Obs = Kregret_obs

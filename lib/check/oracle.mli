@@ -23,6 +23,10 @@
     - [jobs-invariance] — skyline, happy set, GeoGreedy trajectory and the
       Monte-Carlo estimate are bit-identical at pool widths 1 and
       [jobs_hi];
+    - [serve] / [serve-protocol] — an in-process query server loaded with
+      the instance answers every wire request bit-identically to the
+      offline StoredList, and survives malformed frames with structured
+      errors (see {!Serve_oracle});
     - [exception] — no component raised.
 
     All tie comparisons go through {!Tolerance.tie}. *)

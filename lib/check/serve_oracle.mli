@@ -1,0 +1,20 @@
+(** Differential check of the serving subsystem (lib/serve).
+
+    Spins up an in-process server on a temp socket, loads the instance's
+    points as a CSV dataset and drives a deterministic random interleaving
+    of [query]/[mrr]/[evict]/[list] requests over the wire, asserting that
+    every served answer is {e bit-identical} to an offline
+    {!Kregret.Stored_list} computation on the same points — through the
+    cache, through evictions, at every probed [k]. A protocol-abuse tail
+    sends malformed frames and requires structured errors (known codes) on
+    a connection that keeps serving.
+
+    Failure check names: ["serve"] (wrong or failed answers) and
+    ["serve-protocol"] (framing/robustness violations) — both registered in
+    {!Oracle.check_names}, so corpus replays cover serving too. *)
+
+(** [check inst] returns [(check, message)] pairs; [[]] means the serving
+    path agrees with the offline computation. Runs the whole exchange
+    against a private server instance; never raises (server teardown is
+    guaranteed). *)
+val check : Instance.t -> (string * string) list

@@ -99,3 +99,50 @@ let shrink ?(max_attempts = 400) ~fails inst =
     done;
     { instance = !current; steps = !steps; attempts = !attempts }
   end
+
+(* ---- protocol frames ------------------------------------------------------
+
+   ddmin over the bytes of a wire frame: delete contiguous chunks, halving
+   the chunk size, as long as the predicate keeps failing. Used to minimize
+   malformed frames surfaced by the serve oracle ("which part of this 200-
+   byte line actually trips the parser?"). Deterministic. *)
+
+let frame ?(max_attempts = 400) ~fails s =
+  let attempts = ref 0 in
+  let try_ cand =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      fails cand
+    end
+  in
+  if not (try_ s) then s
+  else begin
+    let current = ref s in
+    let progress = ref true in
+    while !progress && !attempts < max_attempts do
+      progress := false;
+      let chunk = ref (max 1 (String.length !current / 2)) in
+      while !chunk >= 1 && !attempts < max_attempts do
+        let off = ref 0 in
+        while
+          !off + !chunk <= String.length !current && !attempts < max_attempts
+        do
+          let cur = !current in
+          let cand =
+            String.sub cur 0 !off
+            ^ String.sub cur (!off + !chunk)
+                (String.length cur - !off - !chunk)
+          in
+          if String.length cand < String.length cur && try_ cand then begin
+            current := cand;
+            progress := true
+            (* keep [off]: it now names the bytes after the deletion *)
+          end
+          else off := !off + !chunk
+        done;
+        chunk := !chunk / 2
+      done
+    done;
+    !current
+  end

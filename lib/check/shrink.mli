@@ -21,3 +21,10 @@ type result = {
     [max_attempts] bounds predicate evaluations (default 400). *)
 val shrink :
   ?max_attempts:int -> fails:(Instance.t -> bool) -> Instance.t -> result
+
+(** [frame ~fails s] minimizes a wire frame (an arbitrary byte string) with
+    ddmin: delete contiguous chunks, halving the chunk size, while [fails]
+    stays [true]. Returns [s] unchanged when [fails s] is [false].
+    Deterministic; [max_attempts] bounds predicate evaluations (default
+    400). Used to minimize protocol frames that trip the serve parser. *)
+val frame : ?max_attempts:int -> fails:(string -> bool) -> string -> string

@@ -1,0 +1,53 @@
+(** Client for the [kregret-serve/v1] protocol — used by the end-to-end
+    tests, the fuzzer's serve oracle, and [kregret_serve --client].
+
+    All operations are total ([result], never an exception) and bounded: a
+    receive timeout (default 30 s) is set on the socket so a wedged server
+    surfaces as an [Error], not a hang. Typed helpers interpret structured
+    server errors; [query]/[mrr] transparently retry on [building] using
+    the server's [retry_after] hint. *)
+
+type t
+
+(** [connect ~socket_path ()] connects and verifies the hello frame carries
+    {!Protocol.version}. *)
+val connect : ?timeout:float -> socket_path:string -> unit -> (t, string) result
+
+val close : t -> unit
+
+(** {1 Raw frames} *)
+
+(** [request_raw t line] sends one frame verbatim and returns the raw
+    response line — malformed frames welcome (that is the point: the
+    protocol tests drive the server's error paths through this). *)
+val request_raw : t -> string -> (string, string) result
+
+(** [request t line] — {!request_raw} + JSON-parse of the response. *)
+val request : t -> string -> (Json.t, string) result
+
+(** {1 Typed helpers}
+
+    Server-side failures map to [Error "server error [CODE]: message"]. *)
+
+val ping : t -> (Json.t, string) result
+val load : t -> name:string -> path:string -> (Json.t, string) result
+val list_datasets : t -> (Json.t, string) result
+val stats : t -> (Json.t, string) result
+val evict : t -> ?name:string -> unit -> (Json.t, string) result
+val shutdown : t -> (Json.t, string) result
+
+(** [wait_ready t ~name] polls [list] until the dataset is [ready]
+    ([Error] on [failed], on an unknown name, or after [attempts]
+    polls — default 600, 20 ms apart). *)
+val wait_ready : ?attempts:int -> t -> name:string -> (unit, string) result
+
+(** [query t ~name ~k] — the selection (original dataset row indices) and
+    its mrr. Retries on [building] (default 200 attempts). *)
+val query :
+  ?retries:int -> t -> name:string -> k:int -> (int list * float, string) result
+
+(** [query_json t ~name ~k] — one shot, full response document (to inspect
+    [cached] / [coalesced] flags); no retry. *)
+val query_json : t -> name:string -> k:int -> (Json.t, string) result
+
+val mrr : ?retries:int -> t -> name:string -> k:int -> (float, string) result

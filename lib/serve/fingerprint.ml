@@ -1,0 +1,28 @@
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let render h = Printf.sprintf "%016Lx" h
+let mix h bits = Int64.mul (Int64.logxor h bits) fnv_prime
+
+let of_string s =
+  let h = ref fnv_offset in
+  String.iter (fun ch -> h := mix !h (Int64.of_int (Char.code ch))) s;
+  render !h
+
+let of_points points =
+  let h = ref fnv_offset in
+  Array.iter
+    (fun p -> Array.iter (fun x -> h := mix !h (Int64.bits_of_float x)) p)
+    points;
+  render !h
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> Ok (of_string contents)
+  | exception Sys_error m -> Error m
+  | exception End_of_file -> Error (path ^ ": truncated read")

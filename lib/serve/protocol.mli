@@ -1,0 +1,82 @@
+(** The [kregret-serve/v1] wire protocol.
+
+    Line-oriented JSON over a Unix-domain stream socket: each request and
+    each response is exactly one JSON object on one ['\n']-terminated line.
+    On connect the server sends a hello frame
+    [{"ok":true,"hello":"kregret-serve/v1"}]; after that, strictly
+    request→response, in order, per connection.
+
+    Requests ([op] selects the verb):
+
+    {v
+      {"op":"load","name":NAME,"path":PATH}   register + build a CSV dataset
+      {"op":"query","name":NAME,"k":K}        k-regret selection + its mrr
+      {"op":"mrr","name":NAME,"k":K}          mrr only
+      {"op":"list"}                           registry contents + statuses
+      {"op":"stats"}                          cache/batch/server statistics
+      {"op":"evict"}                          clear the result cache
+      {"op":"evict","name":NAME}              drop a dataset (and its cache rows)
+      {"op":"ping"}                           liveness
+      {"op":"shutdown"}                       stop the server
+    v}
+
+    Every response carries ["ok"]; failures are structured —
+    [{"ok":false,"error":{"code":CODE,"message":MSG}}], optionally with a
+    top-level ["retry_after"] seconds hint (code [building]) — and {e never}
+    terminate the server. Error codes: [parse_error], [bad_request],
+    [missing_field], [bad_field], [unknown_op], [frame_too_large],
+    [not_found], [building], [build_failed], [load_failed],
+    [stale_dataset], [internal]. *)
+
+val version : string
+(** ["kregret-serve/v1"]. *)
+
+val default_max_line : int
+(** Frame size limit in bytes (65536). Oversized frames are answered with
+    [frame_too_large] and the connection is closed — past the limit the
+    framing itself can no longer be trusted. *)
+
+type request =
+  | Ping
+  | List
+  | Stats
+  | Shutdown
+  | Load of { name : string; path : string }
+  | Query of { name : string; k : int }
+  | Mrr of { name : string; k : int }
+  | Evict of { name : string option }
+
+type error = { code : string; message : string }
+
+val err : code:string -> string -> error
+
+(** [parse_request ?max_line line] — total; every malformed frame maps to a
+    structured [error]. *)
+val parse_request : ?max_line:int -> string -> (request, error) result
+
+(** {1 Response frames} (single lines, no trailing newline) *)
+
+val hello : string
+
+(** [ok_response fields] — [{"ok":true, ...fields}]. *)
+val ok_response : (string * Json.t) list -> string
+
+val error_response : ?retry_after:float -> error -> string
+
+(** {1 Framed line I/O over file descriptors}
+
+    Shared by the server's connection loop and the client. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** [read_line r ~max] — next ['\n']-terminated line (terminator and a
+    preceding ['\r'] stripped). [`Eof] on clean end-of-stream at a frame
+    boundary; [`Error] on a mid-frame disconnect or socket error; [`Too_long]
+    once the accumulated frame exceeds [max] bytes. Never raises. *)
+val read_line :
+  reader -> max:int -> [ `Line of string | `Eof | `Too_long | `Error of string ]
+
+(** [write_line fd s] writes [s ^ "\n"] fully. Never raises. *)
+val write_line : Unix.file_descr -> string -> (unit, string) result

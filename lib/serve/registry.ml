@@ -1,0 +1,222 @@
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Csv_io = Kregret_dataset.Csv_io
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Stored_list = Kregret.Stored_list
+module Obs = Kregret_obs
+
+let c_loads =
+  Obs.Registry.counter "serve.registry.loads" ~help:"load requests accepted"
+
+let c_builds =
+  Obs.Registry.counter "serve.registry.builds" ~help:"background builds completed"
+
+let c_build_failures =
+  Obs.Registry.counter "serve.registry.build_failures"
+    ~help:"background builds that raised"
+
+let c_stale =
+  Obs.Registry.counter "serve.stale_rejections"
+    ~help:"queries rejected because the CSV changed on disk after load"
+
+let g_datasets =
+  Obs.Registry.gauge "serve.registry.datasets" ~help:"datasets currently registered"
+
+type built = {
+  happy : Vector.t array;
+  orig_of_happy : int array;
+  stored : Stored_list.t;
+  n_sky : int;
+  build_seconds : float;
+}
+
+type status = Building | Ready of built | Failed of string
+
+type info = {
+  name : string;
+  path : string;
+  fingerprint : string;
+  n : int;
+  d : int;
+  status : status;
+}
+
+type entry = {
+  e_name : string;
+  e_path : string;
+  e_fingerprint : string;
+  points : Vector.t array;  (* normalized rows, the "original" index space *)
+  mutable e_status : status;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  entries : (string, entry) Hashtbl.t;
+  queue : (string * string) Queue.t;  (* (name, fingerprint) build jobs *)
+  max_length : int option;
+  mutable stop : bool;
+  mutable worker : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let snapshot e =
+  {
+    name = e.e_name;
+    path = e.e_path;
+    fingerprint = e.e_fingerprint;
+    n = Array.length e.points;
+    d = (if Array.length e.points = 0 then 0 else Vector.dim e.points.(0));
+    status = e.e_status;
+  }
+
+(* The full offline pipeline of the paper: skyline -> happy points ->
+   GeoGreedy materialization. Runs on the build thread; the hot loops
+   inside use the global domain pool. *)
+let build ~max_length points =
+  let t0 = Unix.gettimeofday () in
+  try
+    Obs.Span.with_ "serve.build" (fun () ->
+        let sky_idx = Skyline.sfs points in
+        let sky = Array.map (fun i -> points.(i)) sky_idx in
+        let happy_idx = Happy.happy_points sky in
+        let happy = Array.map (fun i -> sky.(i)) happy_idx in
+        let orig_of_happy = Array.map (fun i -> sky_idx.(i)) happy_idx in
+        let stored = Stored_list.preprocess ?max_length happy in
+        Obs.Counter.incr c_builds;
+        Ready
+          {
+            happy;
+            orig_of_happy;
+            stored;
+            n_sky = Array.length sky_idx;
+            build_seconds = Unix.gettimeofday () -. t0;
+          })
+  with e ->
+    Obs.Counter.incr c_build_failures;
+    Failed (Printexc.to_string e)
+
+let worker_loop t =
+  Mutex.lock t.mutex;
+  while not t.stop do
+    if Queue.is_empty t.queue then Condition.wait t.cond t.mutex
+    else begin
+      let name, fp = Queue.pop t.queue in
+      match Hashtbl.find_opt t.entries name with
+      | Some e
+        when String.equal e.e_fingerprint fp
+             && (match e.e_status with Building -> true | _ -> false) ->
+          let points = e.points in
+          Mutex.unlock t.mutex;
+          let status = build ~max_length:t.max_length points in
+          Mutex.lock t.mutex;
+          (* the entry may have been evicted or replaced while we built *)
+          (match Hashtbl.find_opt t.entries name with
+          | Some e' when String.equal e'.e_fingerprint fp ->
+              e'.e_status <- status
+          | _ -> ())
+      | _ -> ()  (* superseded or evicted job *)
+    end
+  done;
+  Mutex.unlock t.mutex
+
+let create ?max_length () =
+  let t =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      entries = Hashtbl.create 16;
+      queue = Queue.create ();
+      max_length;
+      stop = false;
+      worker = None;
+    }
+  in
+  t.worker <- Some (Thread.create worker_loop t);
+  t
+
+let shutdown t =
+  let worker =
+    locked t (fun () ->
+        t.stop <- true;
+        Condition.broadcast t.cond;
+        let w = t.worker in
+        t.worker <- None;
+        w)
+  in
+  match worker with Some w -> Thread.join w | None -> ()
+
+let load t ~name ~path =
+  match Fingerprint.of_file path with
+  | Error m -> Error m
+  | Ok fp -> (
+      match
+        try Ok (Dataset.normalize (Csv_io.load ~name path)) with
+        | Failure m -> Error m
+        | Invalid_argument m -> Error (path ^ ": " ^ m)
+      with
+      | Error m -> Error m
+      | Ok ds ->
+          locked t (fun () ->
+              if t.stop then Error "registry is shut down"
+              else begin
+                Obs.Counter.incr c_loads;
+                match Hashtbl.find_opt t.entries name with
+                | Some e when String.equal e.e_fingerprint fp ->
+                    (* unchanged bytes: keep the build (or its result) *)
+                    Ok (snapshot e)
+                | _ ->
+                    let e =
+                      {
+                        e_name = name;
+                        e_path = path;
+                        e_fingerprint = fp;
+                        points = ds.Dataset.points;
+                        e_status = Building;
+                      }
+                    in
+                    Hashtbl.replace t.entries name e;
+                    Obs.Gauge.set_int g_datasets (Hashtbl.length t.entries);
+                    Queue.push (name, fp) t.queue;
+                    Condition.broadcast t.cond;
+                    Ok (snapshot e)
+              end))
+
+let find t name =
+  locked t (fun () ->
+      Option.map snapshot (Hashtbl.find_opt t.entries name))
+
+let list t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ e acc -> snapshot e :: acc) t.entries []
+      |> List.sort (fun a b -> String.compare a.name b.name))
+
+let evict t name =
+  locked t (fun () ->
+      let existed = Hashtbl.mem t.entries name in
+      Hashtbl.remove t.entries name;
+      if existed then Obs.Gauge.set_int g_datasets (Hashtbl.length t.entries);
+      existed)
+
+let fresh _t info =
+  match Fingerprint.of_file info.path with
+  | Error m ->
+      Obs.Counter.incr c_stale;
+      Error
+        (Printf.sprintf
+           "dataset %S: backing file %s is no longer readable (%s); re-load it"
+           info.name info.path m)
+  | Ok fp ->
+      if String.equal fp info.fingerprint then Ok ()
+      else begin
+        Obs.Counter.incr c_stale;
+        Error
+          (Printf.sprintf
+             "dataset %S: %s changed on disk since load (loaded %s, file now \
+              hashes to %s); re-load it"
+             info.name info.path info.fingerprint fp)
+      end

@@ -1,0 +1,70 @@
+(** Dataset registry: load CSV datasets once, precompute skyline → happy
+    points → StoredList in the background, serve any [k] afterwards as an
+    O(k) prefix read.
+
+    [load] is cheap and non-blocking: it fingerprints the file bytes
+    ({!Fingerprint}), parses and normalizes the CSV on the calling thread,
+    registers the entry as [Building] and hands the expensive
+    GeoGreedy materialization to a single background build thread (which
+    uses the global {!Kregret_parallel.Pool} internally — builds are
+    serialized so parallel regions never nest). Queries against a
+    still-[Building] entry get a [retry_after] answer from the server, never
+    a blocked accept loop.
+
+    {b Staleness.} Every entry remembers the byte fingerprint of the file
+    it was built from. {!fresh} re-hashes the file and must be consulted
+    before serving: a dataset whose CSV was rewritten on disk between
+    [load] and [query] is {e rejected} ([stale_dataset]) instead of being
+    silently answered from the stale StoredList. Re-[load]ing the same name
+    picks up the new contents and rebuilds. *)
+
+type built = {
+  happy : Kregret_geom.Vector.t array;  (** the candidate set handed to GeoGreedy *)
+  orig_of_happy : int array;
+      (** happy-array slot → row index in the {e original} (normalized)
+          dataset; served selections are reported in original rows *)
+  stored : Kregret.Stored_list.t;
+  n_sky : int;  (** skyline size, for [list] *)
+  build_seconds : float;
+}
+
+type status = Building | Ready of built | Failed of string
+
+type info = {
+  name : string;
+  path : string;
+  fingerprint : string;
+  n : int;  (** dataset rows *)
+  d : int;
+  status : status;
+}
+
+type t
+
+(** [create ?max_length ()] starts the build worker. [max_length] caps the
+    StoredList materialization (the [--max-k] serving knob — see
+    {!Kregret.Stored_list.preprocess}); queries beyond the cap return the
+    whole materialized list. *)
+val create : ?max_length:int -> unit -> t
+
+(** [shutdown t] stops and joins the build worker (waits for an in-flight
+    build). Idempotent. *)
+val shutdown : t -> unit
+
+(** [load t ~name ~path] registers (or re-registers, when the fingerprint
+    changed) a dataset and enqueues its build; returns a snapshot.
+    Re-loading an unchanged file is a no-op returning the current status.
+    [Error] on unreadable or malformed CSV. *)
+val load : t -> name:string -> path:string -> (info, string) result
+
+val find : t -> string -> info option
+
+(** Name-sorted snapshots. *)
+val list : t -> info list
+
+(** [evict t name] — forget a dataset; [false] when absent. *)
+val evict : t -> string -> bool
+
+(** [fresh t info] — re-fingerprint [info.path] and fail when it no longer
+    matches the loaded bytes (counted as [serve.stale_rejections]). *)
+val fresh : t -> info -> (unit, string) result

@@ -1,0 +1,423 @@
+module Stored_list = Kregret.Stored_list
+module Obs = Kregret_obs
+
+let c_connections =
+  Obs.Registry.counter "serve.connections" ~help:"accepted connections"
+
+let c_requests = Obs.Registry.counter "serve.requests" ~help:"request frames handled"
+
+let c_errors =
+  Obs.Registry.counter "serve.errors" ~help:"requests answered with a structured error"
+
+type config = {
+  socket_path : string;
+  cache_capacity : int;
+  max_line : int;
+  retry_after : float;
+  max_length : int option;
+}
+
+let config ?(cache_capacity = 128) ?(max_line = Protocol.default_max_line)
+    ?(retry_after = 0.05) ?max_length ~socket_path () =
+  if cache_capacity < 0 then invalid_arg "Server.config: cache_capacity < 0";
+  if max_line < 1 then invalid_arg "Server.config: max_line < 1";
+  { socket_path; cache_capacity; max_line; retry_after; max_length }
+
+(* cache values: one shape for both [query] (selection + mrr) and [mrr] *)
+type cached = { c_selection : int list option; c_mrr : float }
+
+type t = {
+  cfg : config;
+  reg : Registry.t;
+  cache : ((string * int * string), cached) Lru.t;
+  cache_mutex : Mutex.t;
+  batcher : ((string * int * string), cached) Batcher.t;
+  listen_fd : Unix.file_descr;
+  state_mutex : Mutex.t;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable conns : (Thread.t * Unix.file_descr) list;
+  mutable accept_thread : Thread.t option;
+  mutable requests : int;
+  mutable errors : int;
+  started : float;
+}
+
+let registry t = t.reg
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ---- request handling ---------------------------------------------------- *)
+
+let status_str status =
+  match status with
+  | Registry.Building -> "building"
+  | Registry.Ready _ -> "ready"
+  | Registry.Failed _ -> "failed"
+
+let count_error t =
+  with_lock t.state_mutex (fun () -> t.errors <- t.errors + 1);
+  Obs.Counter.incr c_errors
+
+let error t ?retry_after e =
+  count_error t;
+  Protocol.error_response ?retry_after e
+
+let dataset_json info =
+  let base =
+    [
+      ("name", Json.Str info.Registry.name);
+      ("path", Json.Str info.Registry.path);
+      ("fingerprint", Json.Str info.Registry.fingerprint);
+      ("n", Json.int info.Registry.n);
+      ("d", Json.int info.Registry.d);
+      ("status", Json.Str (status_str info.Registry.status));
+    ]
+  in
+  let extra =
+    match info.Registry.status with
+    | Registry.Ready b ->
+        [
+          ("sky", Json.int b.Registry.n_sky);
+          ("happy", Json.int (Array.length b.Registry.happy));
+          ("materialized", Json.int (Stored_list.length b.Registry.stored));
+          ("build_seconds", Json.Num b.Registry.build_seconds);
+        ]
+    | Registry.Failed m -> [ ("error", Json.Str m) ]
+    | Registry.Building -> []
+  in
+  Json.Obj (base @ extra)
+
+let handle_load t ~name ~path =
+  match Registry.load t.reg ~name ~path with
+  | Error m -> error t (Protocol.err ~code:"load_failed" m)
+  | Ok info ->
+      Protocol.ok_response
+        [
+          ("op", Json.Str "load");
+          ("name", Json.Str name);
+          ("status", Json.Str (status_str info.Registry.status));
+          ("fingerprint", Json.Str info.Registry.fingerprint);
+          ("n", Json.int info.Registry.n);
+          ("d", Json.int info.Registry.d);
+        ]
+
+(* The serving hot path. Cache first; on a miss, coalesce concurrent
+   identical computations through the batcher, so one StoredList prefix
+   scan answers every in-flight duplicate. *)
+let handle_query t ~name ~k ~kind =
+  match Registry.find t.reg name with
+  | None ->
+      error t
+        (Protocol.err ~code:"not_found"
+           (Printf.sprintf "dataset %S is not loaded" name))
+  | Some info -> (
+      match info.Registry.status with
+      | Registry.Building ->
+          error t ~retry_after:t.cfg.retry_after
+            (Protocol.err ~code:"building"
+               (Printf.sprintf "dataset %S is still building" name))
+      | Registry.Failed m ->
+          error t
+            (Protocol.err ~code:"build_failed"
+               (Printf.sprintf "dataset %S failed to build: %s" name m))
+      | Registry.Ready b -> (
+          (* stale-reuse guard: the CSV on disk must still be the bytes this
+             StoredList was built from *)
+          match Registry.fresh t.reg info with
+          | Error m -> error t (Protocol.err ~code:"stale_dataset" m)
+          | Ok () ->
+              let key = (info.Registry.fingerprint, k, kind) in
+              let hit = with_lock t.cache_mutex (fun () -> Lru.get t.cache key) in
+              let value, cached, coalesced =
+                match hit with
+                | Some v -> (v, true, false)
+                | None ->
+                    let v, coalesced =
+                      Batcher.run t.batcher ~key (fun () ->
+                          let sel = Stored_list.query b.Registry.stored ~k in
+                          let mrr = Stored_list.mrr_at b.Registry.stored ~k in
+                          let orig =
+                            List.map
+                              (fun i -> b.Registry.orig_of_happy.(i))
+                              sel
+                          in
+                          let v =
+                            {
+                              c_selection =
+                                (if kind = "query" then Some orig else None);
+                              c_mrr = mrr;
+                            }
+                          in
+                          with_lock t.cache_mutex (fun () ->
+                              Lru.put t.cache key v);
+                          v)
+                    in
+                    (v, false, coalesced)
+              in
+              let base =
+                [
+                  ("op", Json.Str kind);
+                  ("name", Json.Str name);
+                  ("k", Json.int k);
+                  ("mrr", Json.Num value.c_mrr);
+                  ("cached", Json.Bool cached);
+                  ("coalesced", Json.Bool coalesced);
+                ]
+              in
+              let fields =
+                match value.c_selection with
+                | Some sel ->
+                    base @ [ ("selection", Json.Arr (List.map Json.int sel)) ]
+                | None -> base
+              in
+              Protocol.ok_response fields))
+
+let handle_evict t ~name =
+  match name with
+  | None ->
+      with_lock t.cache_mutex (fun () -> Lru.clear t.cache);
+      Protocol.ok_response [ ("op", Json.Str "evict"); ("cleared", Json.Str "cache") ]
+  | Some name ->
+      let fp =
+        Option.map
+          (fun i -> i.Registry.fingerprint)
+          (Registry.find t.reg name)
+      in
+      let removed = Registry.evict t.reg name in
+      (* drop the dataset's cached results as well *)
+      (match fp with
+      | Some fp ->
+          with_lock t.cache_mutex (fun () ->
+              List.iter
+                (fun ((kfp, _, _) as key) ->
+                  if String.equal kfp fp then ignore (Lru.remove t.cache key))
+                (Lru.keys_mru t.cache))
+      | None -> ());
+      Protocol.ok_response
+        [ ("op", Json.Str "evict"); ("name", Json.Str name); ("evicted", Json.Bool removed) ]
+
+let handle_stats t =
+  let cs = Lru.stats t.cache in
+  let requests, errors =
+    with_lock t.state_mutex (fun () -> (t.requests, t.errors))
+  in
+  Protocol.ok_response
+    [
+      ("op", Json.Str "stats");
+      ("proto", Json.Str Protocol.version);
+      ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.started));
+      ("requests", Json.int requests);
+      ("errors", Json.int errors);
+      ("datasets", Json.int (List.length (Registry.list t.reg)));
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.int (Lru.capacity t.cache));
+            ("entries", Json.int (Lru.length t.cache));
+            ("hits", Json.int cs.Lru.hits);
+            ("misses", Json.int cs.Lru.misses);
+            ("evictions", Json.int cs.Lru.evictions);
+            ("insertions", Json.int cs.Lru.insertions);
+          ] );
+      ( "batch",
+        Json.Obj
+          [
+            ("leaders", Json.int (Batcher.leaders t.batcher));
+            ("followers", Json.int (Batcher.followers t.batcher));
+          ] );
+    ]
+
+let handle_list t =
+  Protocol.ok_response
+    [
+      ("op", Json.Str "list");
+      ("datasets", Json.Arr (List.map dataset_json (Registry.list t.reg)));
+    ]
+
+let signal_stop t =
+  let first =
+    with_lock t.state_mutex (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* Wake a [Unix.accept]-blocked accept loop. Closing the listening fd
+       from another thread does NOT reliably interrupt a blocked [accept]
+       on Linux, so poke it with a throwaway connection instead: the loop
+       re-checks [stopping] after every accept and exits. The fd itself is
+       closed by the accept loop on its way out. *)
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  end
+
+(* returns (response frame, close connection afterwards) *)
+let handle_request t line =
+  with_lock t.state_mutex (fun () -> t.requests <- t.requests + 1);
+  Obs.Counter.incr c_requests;
+  match Protocol.parse_request ~max_line:t.cfg.max_line line with
+  | Error e -> (error t e, false)
+  | Ok req -> (
+      try
+        match req with
+        | Protocol.Ping -> (Protocol.ok_response [ ("op", Json.Str "ping") ], false)
+        | Protocol.List -> (handle_list t, false)
+        | Protocol.Stats -> (handle_stats t, false)
+        | Protocol.Shutdown ->
+            signal_stop t;
+            (Protocol.ok_response [ ("op", Json.Str "shutdown") ], true)
+        | Protocol.Load { name; path } -> (handle_load t ~name ~path, false)
+        | Protocol.Query { name; k } ->
+            (handle_query t ~name ~k ~kind:"query", false)
+        | Protocol.Mrr { name; k } -> (handle_query t ~name ~k ~kind:"mrr", false)
+        | Protocol.Evict { name } -> (handle_evict t ~name, false)
+      with e ->
+        (* requests never take the server down *)
+        (error t (Protocol.err ~code:"internal" (Printexc.to_string e)), false))
+
+(* ---- connection & accept loops ------------------------------------------- *)
+
+let handle_conn t fd =
+  let r = Protocol.reader fd in
+  (try
+     match Protocol.write_line fd Protocol.hello with
+     | Error _ -> ()
+     | Ok () ->
+         let rec loop () =
+           match Protocol.read_line r ~max:t.cfg.max_line with
+           | `Eof | `Error _ -> ()  (* truncated connections close silently *)
+           | `Too_long ->
+               (* the stream is no longer frame-aligned: answer, then close *)
+               ignore
+                 (Protocol.write_line fd
+                    (error t
+                       (Protocol.err ~code:"frame_too_large"
+                          (Printf.sprintf
+                             "frame exceeds the %d-byte limit; closing \
+                              connection"
+                             t.cfg.max_line))))
+           | `Line line ->
+               if String.trim line = "" then loop ()
+               else begin
+                 let resp, close_after = handle_request t line in
+                 match Protocol.write_line fd resp with
+                 | Error _ -> ()
+                 | Ok () -> if not close_after then loop ()
+               end
+         in
+         loop ()
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        let spawn =
+          with_lock t.state_mutex (fun () ->
+              if t.stopping then false
+              else begin
+                Obs.Counter.incr c_connections;
+                let th = Thread.create (fun () -> handle_conn t fd) () in
+                t.conns <- (th, fd) :: t.conns;
+                true
+              end)
+        in
+        if spawn then loop ()
+        else
+          (* stopping: this is [signal_stop]'s wakeup poke (or a late
+             client); drop it and fall through to close the listener *)
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        if with_lock t.state_mutex (fun () -> t.stopping) then () else loop ()
+    | exception _ ->
+        (* the listening fd is unusable: stop accepting *)
+        ()
+  in
+  loop ();
+  (* the accept loop owns the listening fd *)
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let temp_socket_counter = Atomic.make 0
+
+let temp_socket_path () =
+  let base name dir = Filename.concat dir name in
+  let name =
+    Printf.sprintf "ks-%d-%d.sock" (Unix.getpid ())
+      (Atomic.fetch_and_add temp_socket_counter 1)
+  in
+  let candidate = base name (Filename.get_temp_dir_name ()) in
+  (* sun_path is ~108 bytes; sandboxed TMPDIRs can blow past it *)
+  if String.length candidate <= 90 then candidate else base name "/tmp"
+
+let start cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists cfg.socket_path then (
+    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      cfg;
+      reg = Registry.create ?max_length:cfg.max_length ();
+      cache = Lru.create ~capacity:cfg.cache_capacity;
+      cache_mutex = Mutex.create ();
+      batcher = Batcher.create ();
+      listen_fd;
+      state_mutex = Mutex.create ();
+      stopping = false;
+      stopped = false;
+      conns = [];
+      accept_thread = None;
+      requests = 0;
+      errors = 0;
+      started = Unix.gettimeofday ();
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  (* after the accept loop exits no new connection threads appear *)
+  let conns = with_lock t.state_mutex (fun () -> t.conns) in
+  (* kick idle readers out of [read] so the joins below cannot hang —
+     receive-only, so an in-flight response (e.g. the [shutdown] ack) still
+     drains; the connection thread itself owns the close *)
+  List.iter
+    (fun (_, fd) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (th, _) -> Thread.join th) conns;
+  let cleanup =
+    with_lock t.state_mutex (fun () ->
+        if t.stopped then false
+        else begin
+          t.stopped <- true;
+          true
+        end)
+  in
+  if cleanup then begin
+    Registry.shutdown t.reg;
+    if Sys.file_exists t.cfg.socket_path then (
+      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+  end
+
+let stop t =
+  signal_stop t;
+  wait t

@@ -1,0 +1,67 @@
+(** The serving loop: a Unix-domain-socket server speaking
+    {!Protocol.version}, one lightweight thread per connection, backed by
+    the dataset {!Registry} (background builds), the {!Lru} result cache
+    and the single-flight {!Batcher}.
+
+    Design invariants (enforced by [test/test_serve.ml] and the [serve]
+    oracle of the fuzzer):
+
+    - a served selection/mrr is {e bit-identical} to a direct
+      {!Kregret.Stored_list} prefix read on the same build — including when
+      it comes from the cache or from a coalesced batch;
+    - malformed input of any shape is answered with a structured error and
+      never terminates the server (an oversized frame additionally closes
+      that one connection, because its framing is no longer trustworthy);
+    - a query against a still-building dataset returns a [building] error
+      with a [retry_after] hint instead of blocking the accept loop;
+    - a query against a dataset whose CSV changed on disk after [load] is
+      rejected with [stale_dataset] (never silently served from the stale
+      StoredList). *)
+
+type config = {
+  socket_path : string;
+  cache_capacity : int;  (** {!Lru} capacity; [0] disables caching *)
+  max_line : int;  (** per-frame byte limit *)
+  retry_after : float;  (** seconds hint attached to [building] errors *)
+  max_length : int option;  (** StoredList materialization cap ([--max-k]) *)
+}
+
+(** [config ~socket_path ()] with defaults: cache 128, 64 KiB frames,
+    [retry_after] 0.05 s, full materialization. *)
+val config :
+  ?cache_capacity:int ->
+  ?max_line:int ->
+  ?retry_after:float ->
+  ?max_length:int ->
+  socket_path:string ->
+  unit ->
+  config
+
+type t
+
+(** [start config] binds the socket (replacing a stale socket file), starts
+    the accept thread and the registry's build worker, and returns
+    immediately. Installs a [SIGPIPE] ignore handler (a client hanging up
+    mid-response must not kill the process). Raises [Unix.Unix_error] when
+    the socket cannot be bound. *)
+val start : config -> t
+
+(** [registry t] — for in-process preloading ([--preload]) and tests. *)
+val registry : t -> Registry.t
+
+(** [signal_stop t] asks the accept loop to stop (what the [shutdown] verb
+    does internally). Non-blocking, idempotent. *)
+val signal_stop : t -> unit
+
+(** [wait t] blocks until the server stops (a [shutdown] request or
+    {!signal_stop}), then joins every connection thread and the build
+    worker and removes the socket file. *)
+val wait : t -> unit
+
+(** [stop t] — {!signal_stop} followed by {!wait}. Idempotent. *)
+val stop : t -> unit
+
+(** A writable short socket path for tests and examples:
+    the system temp dir when short enough for [sun_path], else [/tmp].
+    Unique per call within the process. *)
+val temp_socket_path : unit -> string

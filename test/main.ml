@@ -32,5 +32,7 @@ let () =
       ("csv-io", Test_csv_io.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
+      ("lru", Test_lru.suite);
+      ("serve", Test_serve.suite);
       ("corpus", Test_corpus.suite);
     ]

@@ -226,6 +226,55 @@ let test_oracle_catches_exceptions () =
         (List.length other)
         (String.concat "; " (List.map (fun f -> f.Oracle.check) other))
 
+(* ---- protocol-frame shrinker ---------------------------------------------- *)
+
+let test_frame_shrinker_minimizes () =
+  (* synthetic predicate: frame still contains the magic token *)
+  let fails s = Testutil.contains s "xyz" in
+  let noisy =
+    "{\"op\":\"query\",\"name\":\"aaaaaaaaaaaaaaaaaaaaaaaaaaxyzbbbbbbbbbbbbbb\
+     bbbb\",\"k\":3}"
+  in
+  let shrunk = Shrink.frame ~fails noisy in
+  Alcotest.(check string) "1-minimal witness" "xyz" shrunk;
+  Alcotest.(check string) "deterministic"
+    shrunk (Shrink.frame ~fails noisy)
+
+let test_frame_shrinker_leaves_passing () =
+  let s = "{\"op\":\"ping\"}" in
+  Alcotest.(check string) "passing frame unchanged" s
+    (Shrink.frame ~fails:(fun _ -> false) s)
+
+let test_frame_shrinker_real_parser () =
+  (* minimize a noisy malformed frame against the real serve parser while
+     it keeps reporting parse_error *)
+  let module P = Kregret_serve.Protocol in
+  let fails s =
+    match P.parse_request s with
+    | Error e -> e.P.code = "parse_error"
+    | Ok _ -> false
+  in
+  let noisy =
+    "{\"op\":\"query\",\"name\":\"demo\",\"k\":3,\"pad\":\"000000000000000000\
+     0000000000\",\"oops\":"
+  in
+  Alcotest.(check bool) "noisy frame is malformed" true (fails noisy);
+  let shrunk = Shrink.frame ~fails noisy in
+  Alcotest.(check bool) "shrunk frame still malformed" true (fails shrunk);
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly smaller (%S)" shrunk)
+    true
+    (String.length shrunk < String.length noisy);
+  (* ddmin with unit chunks leaves no deletable byte *)
+  Alcotest.(check bool) "1-minimal against the parser" true
+    (let n = String.length shrunk in
+     let deletable = ref false in
+     for i = 0 to n - 1 do
+       let cand = String.sub shrunk 0 i ^ String.sub shrunk (i + 1) (n - i - 1) in
+       if fails cand then deletable := true
+     done;
+     not !deletable)
+
 let test_tolerance_constants () =
   check_float ~eps:0. "tie is the DESIGN.md §8 agreement tolerance" 1e-6
     Tolerance.tie;
@@ -260,6 +309,12 @@ let suite =
       test_corpus_rejects_malformed;
     Alcotest.test_case "oracle captures component exceptions" `Quick
       test_oracle_catches_exceptions;
+    Alcotest.test_case "frame shrinker minimizes to the witness" `Quick
+      test_frame_shrinker_minimizes;
+    Alcotest.test_case "frame shrinker leaves passing frames alone" `Quick
+      test_frame_shrinker_leaves_passing;
+    Alcotest.test_case "frame shrinker vs the real serve parser" `Quick
+      test_frame_shrinker_real_parser;
     Alcotest.test_case "tolerance constants pinned" `Quick
       test_tolerance_constants;
   ]

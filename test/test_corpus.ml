@@ -31,7 +31,7 @@ let test_corpus_not_empty () =
   Alcotest.(check bool)
     (Printf.sprintf "corpus has pinned repros (found %d)" (List.length bases))
     true
-    (List.length bases >= 4)
+    (List.length bases >= 6)
 
 let test_metadata_readable () =
   List.iter

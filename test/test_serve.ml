@@ -1,0 +1,392 @@
+(* End-to-end tests for the serving subsystem (lib/serve): an in-process
+   server on a temp Unix-domain socket, driven over the wire through
+   Kregret_serve.Client.
+
+   The central claim (ISSUE acceptance): for every loaded dataset and every
+   k in d..|happy|, the served selection and mrr are bit-identical to a
+   direct Stored_list prefix read AND to a fresh GeoGreedy run on the same
+   candidates — including when the answer comes from the LRU cache or from
+   a coalesced batch. *)
+
+module Vector = Kregret_geom.Vector
+module Dataset = Kregret_dataset.Dataset
+module Csv_io = Kregret_dataset.Csv_io
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Stored_list = Kregret.Stored_list
+module Geo_greedy = Kregret.Geo_greedy
+module Invariants = Kregret.Invariants
+module Serve = Kregret_serve
+module Client = Serve.Client
+module Server = Serve.Server
+module Json = Serve.Json
+
+let exact_float =
+  Alcotest.testable
+    (fun ppf x -> Format.fprintf ppf "%.17g" x)
+    (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+(* ---- fixtures ------------------------------------------------------------ *)
+
+let write_csv ~name ~n ~d ~seed =
+  let st = Testutil.test_rng seed in
+  let points = Array.init n (fun _ -> Testutil.random_point st d) in
+  let path = Filename.temp_file "kregret_serve_test" ".csv" in
+  Csv_io.save path (Dataset.create ~name points);
+  path
+
+(* The reference pipeline, computed directly (no server): exactly what
+   Registry.build does. *)
+type direct = {
+  dir_stored : Stored_list.t;
+  dir_happy : Vector.t array;
+  dir_orig_of_happy : int array;
+  dir_n : int;
+}
+
+let direct_of_csv path =
+  let ds = Dataset.normalize (Csv_io.load path) in
+  let points = ds.Dataset.points in
+  let sky_idx = Skyline.sfs points in
+  let sky = Array.map (fun i -> points.(i)) sky_idx in
+  let happy_idx = Happy.happy_points sky in
+  let happy = Array.map (fun i -> sky.(i)) happy_idx in
+  let orig_of_happy = Array.map (fun i -> sky_idx.(i)) happy_idx in
+  {
+    dir_stored = Stored_list.preprocess happy;
+    dir_happy = happy;
+    dir_orig_of_happy = orig_of_happy;
+    dir_n = Array.length points;
+  }
+
+let direct_answer dir ~k =
+  let sel = Stored_list.query dir.dir_stored ~k in
+  ( List.map (fun i -> dir.dir_orig_of_happy.(i)) sel,
+    Stored_list.mrr_at dir.dir_stored ~k )
+
+let with_server ?cache_capacity ?max_line ?max_length f =
+  let socket_path = Server.temp_socket_path () in
+  let server =
+    Server.start
+      (Server.config ?cache_capacity ?max_line ?max_length ~socket_path ())
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () ->
+      f ~socket_path server)
+
+let with_client ~socket_path f =
+  match Client.connect ~socket_path () with
+  | Error m -> Alcotest.failf "connect: %s" m
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let or_fail what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let load_and_wait c ~name ~path =
+  ignore (or_fail "load" (Client.load c ~name ~path));
+  or_fail "wait_ready" (Client.wait_ready c ~name)
+
+(* ---- the bit-identical e2e sweep ----------------------------------------- *)
+
+let test_bit_identical_all_k () =
+  let path = write_csv ~name:"sweep" ~n:160 ~d:3 ~seed:11 in
+  let dir = direct_of_csv path in
+  let d = Vector.dim dir.dir_happy.(0) in
+  let n_happy = Array.length dir.dir_happy in
+  with_server ~cache_capacity:64 (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          load_and_wait c ~name:"sweep" ~path;
+          for k = d to n_happy do
+            let sel_ref, mrr_ref = direct_answer dir ~k in
+            (* cold *)
+            let sel, mrr =
+              or_fail "query" (Client.query c ~name:"sweep" ~k)
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "selection at k=%d == StoredList prefix" k)
+              sel_ref sel;
+            Alcotest.check exact_float
+              (Printf.sprintf "mrr at k=%d bit-identical" k)
+              mrr_ref mrr;
+            (* the served selection is a valid k-regret answer *)
+            (match
+               Invariants.valid_selection ~what:"served" ~n:dir.dir_n ~k sel
+             with
+            | [] -> ()
+            | ms -> Alcotest.failf "k=%d: %s" k (String.concat "; " ms));
+            (* fresh GeoGreedy on the same candidates: same answer *)
+            let g = Geo_greedy.run ~points:dir.dir_happy ~k () in
+            let g_orig =
+              List.map (fun i -> dir.dir_orig_of_happy.(i)) g.Geo_greedy.order
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "selection at k=%d == fresh GeoGreedy" k)
+              g_orig sel;
+            (* warm: the cache hit is the same bits *)
+            let j = or_fail "query_json" (Client.query_json c ~name:"sweep" ~k) in
+            Alcotest.(check (option bool))
+              (Printf.sprintf "k=%d answered from cache" k)
+              (Some true)
+              (Option.bind (Json.member "cached" j) Json.to_bool);
+            let sel', mrr' =
+              or_fail "cached query" (Client.query c ~name:"sweep" ~k)
+            in
+            Alcotest.(check (list int)) "cached selection identical" sel sel';
+            Alcotest.check exact_float "cached mrr identical" mrr mrr';
+            (* the mrr verb agrees with the query verb *)
+            let m = or_fail "mrr" (Client.mrr c ~name:"sweep" ~k) in
+            Alcotest.check exact_float "mrr verb bit-identical" mrr_ref m
+          done))
+
+(* ---- concurrent clients: coalescing + cache stay bit-identical ----------- *)
+
+let test_concurrent_clients () =
+  let path = write_csv ~name:"conc" ~n:200 ~d:4 ~seed:23 in
+  let dir = direct_of_csv path in
+  let k = min 6 (Array.length dir.dir_happy) in
+  let sel_ref, mrr_ref = direct_answer dir ~k in
+  with_server ~cache_capacity:32 (fun ~socket_path _server ->
+      with_client ~socket_path (fun c -> load_and_wait c ~name:"conc" ~path);
+      let n_threads = 8 and per_thread = 5 in
+      let results = Array.make n_threads [] in
+      let threads =
+        Array.init n_threads (fun i ->
+            Thread.create
+              (fun () ->
+                with_client ~socket_path (fun c ->
+                    for _ = 1 to per_thread do
+                      results.(i) <-
+                        Client.query c ~name:"conc" ~k :: results.(i)
+                    done))
+              ())
+      in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i rs ->
+          List.iter
+            (fun r ->
+              let sel, mrr = or_fail (Printf.sprintf "thread %d" i) r in
+              Alcotest.(check (list int)) "concurrent selection" sel_ref sel;
+              Alcotest.check exact_float "concurrent mrr" mrr_ref mrr)
+            rs)
+        results;
+      (* the server really did coalesce/cache rather than recompute 40x *)
+      with_client ~socket_path (fun c ->
+          let j = or_fail "stats" (Client.stats c) in
+          let cache = Json.member "cache" j in
+          let hits =
+            Option.bind (Option.bind cache (Json.member "hits")) Json.to_int
+            |> Option.value ~default:(-1)
+          in
+          if hits < 1 then
+            Alcotest.failf "expected cache hits after 40 identical queries: %s"
+              (Json.to_string j)))
+
+(* ---- protocol robustness -------------------------------------------------- *)
+
+let expect_error_code c ~code frame =
+  match Client.request c frame with
+  | Error m -> Alcotest.failf "request %S failed transport: %s" frame m
+  | Ok j ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "code for %s" frame)
+        (Some code)
+        (Option.bind (Json.member "error" j) (fun e ->
+             Option.bind (Json.member "code" e) Json.to_str))
+
+let test_malformed_frames () =
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          expect_error_code c ~code:"parse_error" "this is not json";
+          expect_error_code c ~code:"parse_error" "{\"op\":";
+          expect_error_code c ~code:"bad_request" "[1,2,3]";
+          expect_error_code c ~code:"missing_field" "{\"op\":\"query\",\"k\":3}";
+          expect_error_code c ~code:"missing_field" "{\"name\":\"x\",\"k\":3}";
+          expect_error_code c ~code:"bad_field"
+            "{\"op\":\"query\",\"name\":\"x\",\"k\":\"three\"}";
+          expect_error_code c ~code:"bad_field"
+            "{\"op\":\"query\",\"name\":\"x\",\"k\":0}";
+          expect_error_code c ~code:"unknown_op" "{\"op\":\"frobnicate\"}";
+          expect_error_code c ~code:"not_found"
+            "{\"op\":\"query\",\"name\":\"nope\",\"k\":3}";
+          (* after all that abuse, the same connection still serves *)
+          ignore (or_fail "ping after abuse" (Client.ping c))))
+
+let test_oversized_frame () =
+  with_server ~max_line:128 (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          let big =
+            "{\"op\":\"ping\",\"pad\":\"" ^ String.make 400 'x' ^ "\"}"
+          in
+          (match Client.request c big with
+          | Ok j ->
+              Alcotest.(check (option string))
+                "frame_too_large" (Some "frame_too_large")
+                (Option.bind (Json.member "error" j) (fun e ->
+                     Option.bind (Json.member "code" e) Json.to_str))
+          | Error m -> Alcotest.failf "oversized frame: transport error %s" m);
+          (* the connection is closed afterwards — framing is untrustworthy *)
+          match Client.request_raw c "{\"op\":\"ping\"}" with
+          | Error _ -> ()
+          | Ok r ->
+              Alcotest.failf "connection should be closed after oversize: %S" r);
+      (* ...but the server itself is alive: a fresh connection works *)
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "ping after oversize" (Client.ping c))))
+
+let test_truncated_connection () =
+  with_server (fun ~socket_path _server ->
+      (* hang up mid-frame, twice, with raw sockets *)
+      for _ = 1 to 2 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        let partial = "{\"op\":\"qu" in
+        ignore (Unix.write_substring fd partial 0 (String.length partial));
+        Unix.close fd
+      done;
+      (* and hang up before reading the hello *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      Unix.close fd;
+      (* server is unimpressed *)
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "ping after truncations" (Client.ping c))))
+
+(* ---- registry lifecycle over the wire ------------------------------------- *)
+
+let test_list_stats_evict () =
+  let path = write_csv ~name:"life" ~n:80 ~d:3 ~seed:5 in
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          load_and_wait c ~name:"life" ~path;
+          ignore (or_fail "query" (Client.query c ~name:"life" ~k:4));
+          (* list: one ready dataset with build facts *)
+          let j = or_fail "list" (Client.list_datasets c) in
+          let ds =
+            Option.bind (Json.member "datasets" j) Json.to_list
+            |> Option.value ~default:[]
+          in
+          Alcotest.(check int) "one dataset" 1 (List.length ds);
+          let d0 = List.hd ds in
+          Alcotest.(check (option string))
+            "status ready" (Some "ready")
+            (Option.bind (Json.member "status" d0) Json.to_str);
+          List.iter
+            (fun field ->
+              if Json.member field d0 = None then
+                Alcotest.failf "list entry missing %s: %s" field
+                  (Json.to_string d0))
+            [ "name"; "path"; "fingerprint"; "n"; "d"; "sky"; "happy";
+              "materialized"; "build_seconds" ];
+          (* stats: counters move *)
+          let s = or_fail "stats" (Client.stats c) in
+          let geti name =
+            Option.bind (Json.member name s) Json.to_int
+            |> Option.value ~default:(-1)
+          in
+          Alcotest.(check bool) "requests counted" true (geti "requests" > 0);
+          Alcotest.(check int) "datasets gauge" 1 (geti "datasets");
+          (* evict with no name clears the cache only *)
+          ignore (or_fail "evict cache" (Client.evict c ()));
+          let j = or_fail "query_json" (Client.query_json c ~name:"life" ~k:4) in
+          Alcotest.(check (option bool))
+            "cache cleared -> cold answer" (Some false)
+            (Option.bind (Json.member "cached" j) Json.to_bool);
+          (* evict by name drops the dataset *)
+          ignore (or_fail "evict life" (Client.evict c ~name:"life" ()));
+          match Client.query c ~name:"life" ~k:4 with
+          | Error m when Testutil.contains m "not_found" -> ()
+          | Error m -> Alcotest.failf "expected not_found, got %s" m
+          | Ok _ -> Alcotest.fail "query after evict should fail"))
+
+(* A query racing the background build either gets a [building] +
+   retry_after (and the typed client retries through it) or a ready answer
+   — never a hang, never a wrong answer. *)
+let test_query_races_build () =
+  let path = write_csv ~name:"race" ~n:300 ~d:4 ~seed:31 in
+  let dir = direct_of_csv path in
+  let k = min 5 (Array.length dir.dir_happy) in
+  let sel_ref, mrr_ref = direct_answer dir ~k in
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "load" (Client.load c ~name:"race" ~path));
+          (* no wait_ready: Client.query retries on [building] *)
+          let sel, mrr = or_fail "query during build" (Client.query c ~name:"race" ~k) in
+          Alcotest.(check (list int)) "race selection" sel_ref sel;
+          Alcotest.check exact_float "race mrr" mrr_ref mrr))
+
+(* ---- staleness: the CSV changed on disk after load ------------------------ *)
+
+let test_stale_dataset_rejected () =
+  let path = write_csv ~name:"stale" ~n:60 ~d:3 ~seed:7 in
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          load_and_wait c ~name:"stale" ~path;
+          ignore (or_fail "query before rewrite" (Client.query c ~name:"stale" ~k:4));
+          (* rewrite the backing file with different bytes *)
+          let st = Testutil.test_rng 99 in
+          let points = Array.init 70 (fun _ -> Testutil.random_point st 3) in
+          Csv_io.save path (Dataset.create ~name:"stale" points);
+          (* the stale StoredList must NOT be served *)
+          (match Client.query c ~name:"stale" ~k:4 with
+          | Ok _ -> Alcotest.fail "served a stale dataset"
+          | Error m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "stale_dataset error (got %s)" m)
+                true
+                (Testutil.contains m "stale_dataset"));
+          (* mrr takes the same guard *)
+          (match Client.mrr c ~name:"stale" ~k:4 with
+          | Ok _ -> Alcotest.fail "served mrr from a stale dataset"
+          | Error m ->
+              Alcotest.(check bool) "stale mrr rejected" true
+                (Testutil.contains m "stale_dataset"));
+          (* re-loading picks up the new bytes and serves the new answer *)
+          load_and_wait c ~name:"stale" ~path;
+          let dir = direct_of_csv path in
+          let sel_ref, mrr_ref = direct_answer dir ~k:4 in
+          let sel, mrr = or_fail "query after reload" (Client.query c ~name:"stale" ~k:4) in
+          Alcotest.(check (list int)) "reloaded selection" sel_ref sel;
+          Alcotest.check exact_float "reloaded mrr" mrr_ref mrr))
+
+(* load errors are structured, not fatal *)
+let test_load_failures () =
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          (match Client.load c ~name:"ghost" ~path:"/nonexistent/file.csv" with
+          | Ok _ -> Alcotest.fail "loading a missing file should fail"
+          | Error _ -> ());
+          let bad = Filename.temp_file "kregret_serve_bad" ".csv" in
+          Out_channel.with_open_text bad (fun oc ->
+              output_string oc "1.0,2.0\nnot,a,number\n");
+          (match Client.load c ~name:"bad" ~path:bad with
+          | Ok _ -> Alcotest.fail "loading malformed CSV should fail"
+          | Error _ -> ());
+          (* server alive, registry empty *)
+          let j = or_fail "list" (Client.list_datasets c) in
+          Alcotest.(check int) "no datasets" 0
+            (Option.bind (Json.member "datasets" j) Json.to_list
+            |> Option.value ~default:[] |> List.length)))
+
+let suite =
+  [
+    Alcotest.test_case "e2e: selections bit-identical for all k (cold, cached, \
+                        mrr verb, fresh GeoGreedy)" `Slow
+      test_bit_identical_all_k;
+    Alcotest.test_case "e2e: concurrent clients, coalesced + cached" `Slow
+      test_concurrent_clients;
+    Alcotest.test_case "protocol: malformed frames get structured errors" `Quick
+      test_malformed_frames;
+    Alcotest.test_case "protocol: oversized frame closes only that connection"
+      `Quick test_oversized_frame;
+    Alcotest.test_case "protocol: truncated connections don't kill the server"
+      `Quick test_truncated_connection;
+    Alcotest.test_case "lifecycle: list/stats/evict over the wire" `Quick
+      test_list_stats_evict;
+    Alcotest.test_case "lifecycle: query races the background build" `Quick
+      test_query_races_build;
+    Alcotest.test_case "staleness: rewritten CSV is rejected, reload recovers"
+      `Quick test_stale_dataset_rejected;
+    Alcotest.test_case "lifecycle: load failures are structured" `Quick
+      test_load_failures;
+  ]

@@ -43,3 +43,11 @@ let qc_points ~n ~d =
 
 let qcheck_case ?(count = 100) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* [contains s sub] — naive substring search; error-message assertions. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  m = 0
+  ||
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
