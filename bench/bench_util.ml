@@ -16,6 +16,29 @@ let time f =
 
 let time_only f = snd (time f)
 
+(* --repeat N: median-of-N reporting for every section that opts in via
+   [time_median]. First-run jitter (cold caches, lazy pool spin-up, GC
+   state) used to land verbatim in the BENCH JSONs; with N > 1 one warmup
+   run is discarded, N timed runs follow, and the median is reported. *)
+let repeat = ref 1
+
+let time_median f =
+  let n = max 1 !repeat in
+  if n = 1 then time f
+  else begin
+    ignore (f ());
+    (* warmup, discarded *)
+    let r, t0 = time f in
+    let ts = Array.make n t0 in
+    for i = 1 to n - 1 do
+      ts.(i) <- time_only f
+    done;
+    Array.sort compare ts;
+    (r, ts.(n / 2))
+  end
+
+let time_median_only f = snd (time_median f)
+
 (* ---- dataset cache ------------------------------------------------------ *)
 
 type tiers = {

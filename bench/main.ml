@@ -7,15 +7,18 @@
      dune exec bench/main.exe -- --quick all  # smaller scales (CI-friendly)
      dune exec bench/main.exe -- --smoke scal # tiny scales (seconds; CI smoke)
      dune exec bench/main.exe -- --jobs 4 scal# pool width for parallel paths
+     dune exec bench/main.exe -- --repeat 5 kernel  # median-of-5 timings
      dune exec bench/main.exe -- --metrics m.json scal  # obs snapshot on exit
 
    [--jobs N] sizes the domain pool (default: KREGRET_JOBS or the number of
-   cores). Sections additionally emit machine-readable BENCH_<id>.json files
+   cores). [--repeat N] makes sections that time through
+   Bench_util.time_median report the median of N runs after one discarded
+   warmup. Sections additionally emit machine-readable BENCH_<id>.json files
    (per-row timings, jobs count, git rev) alongside the text tables — see
    Bench_util.emit_json.
 
    Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
-   scal ablation micro. *)
+   scal ablation micro kernel. *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -34,6 +37,7 @@ let sections : (string * (unit -> unit)) list =
     ("ext", Exp_ext.run);
     ("substrate", Exp_substrate.run);
     ("micro", Exp_micro.run);
+    ("kernel", Exp_kernel.run);
   ]
 
 let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
@@ -61,6 +65,17 @@ let () =
       | "--metrics" :: [] ->
           Fmt.epr "--metrics expects a file path@.";
           exit 2
+      | "--repeat" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some r when r >= 1 ->
+              Bench_util.repeat := r;
+              strip acc rest
+          | _ ->
+              Fmt.epr "--repeat expects a positive integer, got %S@." n;
+              exit 2)
+      | "--repeat" :: [] ->
+          Fmt.epr "--repeat expects a positive integer@.";
+          exit 2
       | a :: rest -> strip (a :: acc) rest
       | [] -> List.rev acc
     in
@@ -87,7 +102,9 @@ let () =
     Bench_util.real_scale := 500;
     Exp_synth.base_n := 500;
     Exp_scal.scal_n := 2_000;
-    Exp_scal.scal_k := 20
+    Exp_scal.scal_k := 20;
+    Exp_kernel.kernel_n := 2_000;
+    Exp_kernel.kernel_k := 20
   end;
   let wanted =
     match args with

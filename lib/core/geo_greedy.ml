@@ -1,4 +1,5 @@
 module Vector = Kregret_geom.Vector
+module Flat = Kregret_geom.Flat
 module Dd = Kregret_hull.Dd
 module Dual_polytope = Kregret_hull.Dual_polytope
 module Pool = Kregret_parallel.Pool
@@ -24,6 +25,10 @@ let c_rescans =
 let c_lp_fallbacks =
   Obs.Registry.counter "geo_greedy.lp_fallbacks"
     ~help:"runs that blew the dual-vertex budget and fell back to the LP"
+
+let c_tiles =
+  Obs.Registry.counter "geo_greedy.kernel_tiles"
+    ~help:"vertex tiles streamed by the blocked champion kernel"
 
 type result = {
   order : int list;
@@ -74,44 +79,61 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
   (* champion.(j) = (dual vertex id, max dot) for candidate j; only
      meaningful while j is outside the selection *)
   let champion = Array.make n (-1, infinity) in
-  (* [full_rescan] / [scan_among] run both sequentially and from pool
-     workers: they write only the disjoint slot [champion.(j)] and read the
-     dual polytope, which is never mutated inside a parallel region. The
-     [rescans] diagnostic counter is accumulated per-chunk by the callers
-     (a shared [incr] would race across domains). *)
-  let full_rescan j =
-    let v, m = Dual_polytope.champion dp points.(j) in
-    champion.(j) <- (v.Dd.id, m)
+  (* Champion re-scans run through the blocked max-dot kernel (ISSUE 6):
+     the candidates live in one flat matrix built once up front, the dual
+     vertices come from the polytope's flat view (or a per-event scratch of
+     the replacement faces), and {!Flat.champions} tiles the vertex rows so
+     a tile stays in L1 while the affected candidates stream against it.
+     Pool workers write only disjoint slots — [out_row]/[out_val]/[champion]
+     are indexed by candidate — and read structures never mutated inside a
+     parallel region, so the results are identical for every pool width.
+     The [rescans] diagnostic counter is accumulated per-chunk (a shared
+     [incr] would race across domains). *)
+  let cands = Flat.of_rows points in
+  let targets = Array.make n 0 in
+  let out_row = Array.make n 0 in
+  let out_val = Array.make n 0. in
+  (* collect the stale candidates into a prefix of [targets] *)
+  let gather_targets pred =
+    let nt = ref 0 in
+    for j = 0 to n - 1 do
+      if (not in_s.(j)) && pred j then begin
+        targets.(!nt) <- j;
+        incr nt
+      end
+    done;
+    !nt
   in
-  let scan_among vertices j =
-    let best = ref None in
-    List.iter
-      (fun v ->
-        let x = Vector.dot v.Dd.w points.(j) in
-        match !best with
-        | Some (_, bx) when bx >= x -> ()
-        | _ -> best := Some (v.Dd.id, x))
-      vertices;
-    match !best with
-    | Some c -> champion.(j) <- c
-    | None -> full_rescan j (* defensive: no new/touched vertices *)
+  (* cost hint: one target dots every vertex row *)
+  let scan_cost m = 4. *. float_of_int ((m + 1) * d) in
+  let rescan_targets ~vset ~vids nt =
+    if nt > 0 then begin
+      let scanned =
+        Pool.map_reduce
+          ~cost:(scan_cost (Flat.rows vset))
+          ~lo:0 ~hi:nt
+          ~map:(fun a b ->
+            let tiles =
+              Flat.champions ~vertices:vset ~cands targets ~tlo:a ~thi:b
+                ~out_row ~out_val
+            in
+            Obs.Counter.add c_tiles tiles;
+            for ti = a to b - 1 do
+              let j = targets.(ti) in
+              champion.(j) <- (vids.(out_row.(j)), out_val.(j))
+            done;
+            b - a)
+          ~reduce:( + ) 0
+      in
+      rescans := !rescans + scanned
+    end
   in
   let full_rescan_all () =
-    let scanned =
-      Pool.map_reduce ~lo:0 ~hi:n
-        ~map:(fun a b ->
-          let cnt = ref 0 in
-          for j = a to b - 1 do
-            if not in_s.(j) then begin
-              incr cnt;
-              full_rescan j
-            end
-          done;
-          !cnt)
-        ~reduce:( + ) 0
-    in
-    rescans := !rescans + scanned
+    let nt = gather_targets (fun _ -> true) in
+    let vset, vids = Dual_polytope.flat_view dp in
+    rescan_targets ~vset ~vids nt
   in
+  let scratch = Flat.create ~dim:d () in
   let apply_event ev =
     if use_champion_cache then begin
       match ev.Dd.removed with
@@ -121,22 +143,24 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
              beats the former O(n * |removed|) [List.mem] scan *)
           let removed = Hashtbl.create (2 * List.length removed_list) in
           List.iter (fun id -> Hashtbl.replace removed id ()) removed_list;
-          let fresh = ev.Dd.created @ ev.Dd.touched in
-          let scanned =
-            Pool.map_reduce ~lo:0 ~hi:n
-              ~map:(fun a b ->
-                let cnt = ref 0 in
-                for j = a to b - 1 do
-                  if (not in_s.(j)) && Hashtbl.mem removed (fst champion.(j))
-                  then begin
-                    incr cnt;
-                    scan_among fresh j
-                  end
-                done;
-                !cnt)
-              ~reduce:( + ) 0
+          let nt =
+            gather_targets (fun j -> Hashtbl.mem removed (fst champion.(j)))
           in
-          rescans := !rescans + scanned
+          if nt > 0 then begin
+            match ev.Dd.created @ ev.Dd.touched with
+            | [] ->
+                (* defensive: the event reported no replacement faces —
+                   rescan the stale candidates against the whole polytope *)
+                let vset, vids = Dual_polytope.flat_view dp in
+                rescan_targets ~vset ~vids nt
+            | fresh ->
+                Flat.clear scratch;
+                List.iter (fun v -> Flat.push_row scratch v.Dd.w) fresh;
+                let vids =
+                  Array.of_list (List.map (fun v -> v.Dd.id) fresh)
+                in
+                rescan_targets ~vset:scratch ~vids nt
+          end
     end
     else full_rescan_all ()
   in
@@ -211,7 +235,8 @@ let run ?(eps = 1e-9) ?(use_champion_cache = true) ?max_dual_vertices ?on_step
          earliest minimum, the left-to-right reduce keeps the earlier chunk
          on ties — exactly the sequential first-wins scan *)
       let best =
-        Pool.map_reduce ~lo:0 ~hi:n
+        (* cost hint: one simplex solve per candidate, ~hundreds of µs *)
+        Pool.map_reduce ~cost:3e5 ~lo:0 ~hi:n
           ~map:(fun a b ->
             let best = ref None in
             for j = a to b - 1 do

@@ -1,0 +1,221 @@
+(* Flat SoA storage for point sets and vertex sets (ISSUE 6).
+
+   OCaml's [float array array] keeps each row unboxed but scatters the rows
+   across the heap: the hot preprocessing loops (skyline dominance, happy
+   subjugation dots, the Dd slack sweep, GeoGreedy's champion re-scan) chase
+   one pointer per row and touch a fresh cache line per point. This module
+   stores a whole matrix in one contiguous [float array] with row stride
+   [d], so row-sequential sweeps stream linearly through memory and the
+   per-row indirection (and its allocation traffic) disappears.
+
+   Bit-identity contract: every accumulation here runs strictly left to
+   right in coordinate order — the exact operation order of the boxed
+   [Vector.dot] — so replacing a boxed loop with the flat equivalent
+   changes no result bit, NaN and signed-zero rows included. The blocked
+   [champions] kernel reproduces the reference fold "initialise with row 0,
+   then replace only when [not (best >= x)]" (first row wins exact ties,
+   NaN handled exactly like the boxed scan). The equivalence suite in
+   test/test_flat.ml pins all of this. *)
+
+type t = {
+  mutable data : float array; (* row-major, stride [d]; rows 0..n-1 live *)
+  d : int;
+  mutable n : int;
+}
+
+let dim t = t.d
+let rows t = t.n
+
+let create ?(capacity = 16) ~dim () =
+  if dim < 1 then invalid_arg "Flat.create: dim must be >= 1";
+  let capacity = max 1 capacity in
+  { data = Array.make (capacity * dim) 0.; d = dim; n = 0 }
+
+let clear t = t.n <- 0
+
+let ensure_capacity t extra =
+  let need = (t.n + extra) * t.d in
+  if need > Array.length t.data then begin
+    let cap = max need (2 * Array.length t.data) in
+    let data = Array.make cap 0. in
+    Array.blit t.data 0 data 0 (t.n * t.d);
+    t.data <- data
+  end
+
+let push_row t (r : float array) =
+  if Array.length r <> t.d then invalid_arg "Flat.push_row: dimension mismatch";
+  ensure_capacity t 1;
+  Array.blit r 0 t.data (t.n * t.d) t.d;
+  t.n <- t.n + 1
+
+let swap_remove t i =
+  if i < 0 || i >= t.n then invalid_arg "Flat.swap_remove: row out of range";
+  let last = t.n - 1 in
+  if i < last then Array.blit t.data (last * t.d) t.data (i * t.d) t.d;
+  t.n <- last
+
+let of_rows ?dim rows =
+  let d =
+    match (dim, Array.length rows) with
+    | Some d, _ -> d
+    | None, 0 -> invalid_arg "Flat.of_rows: empty input needs ?dim"
+    | None, _ -> Array.length rows.(0)
+  in
+  let t = create ~capacity:(max 1 (Array.length rows)) ~dim:d () in
+  Array.iter (fun r -> push_row t r) rows;
+  t
+
+let check_row t i name =
+  if i < 0 || i >= t.n then invalid_arg (name ^ ": row out of range")
+
+let get t i j =
+  check_row t i "Flat.get";
+  if j < 0 || j >= t.d then invalid_arg "Flat.get: column out of range";
+  t.data.((i * t.d) + j)
+
+let unsafe_get t i j = Array.unsafe_get t.data ((i * t.d) + j)
+
+let row t i =
+  check_row t i "Flat.row";
+  Array.sub t.data (i * t.d) t.d
+
+let blit_row t i dst =
+  check_row t i "Flat.blit_row";
+  if Array.length dst <> t.d then
+    invalid_arg "Flat.blit_row: dimension mismatch";
+  Array.blit t.data (i * t.d) dst 0 t.d
+
+let to_rows t = Array.init t.n (fun i -> row t i)
+
+(* ---- kernels ------------------------------------------------------------- *)
+
+(* Left-to-right dot of [d] coordinates starting at [abase] in [a] and
+   [bbase] in [b], unrolled by 4 on a single accumulator chain: the
+   parenthesisation ((((acc + x0) + x1) + x2) + x3) is exactly the
+   sequential loop's rounding, so unrolling changes no bits. *)
+let[@inline] dot_stride a abase b bbase d =
+  let acc = ref 0. in
+  let j = ref 0 in
+  while !j + 3 < d do
+    let ja = abase + !j and jb = bbase + !j in
+    acc :=
+      !acc
+      +. (Array.unsafe_get a ja *. Array.unsafe_get b jb)
+      +. (Array.unsafe_get a (ja + 1) *. Array.unsafe_get b (jb + 1))
+      +. (Array.unsafe_get a (ja + 2) *. Array.unsafe_get b (jb + 2))
+      +. (Array.unsafe_get a (ja + 3) *. Array.unsafe_get b (jb + 3));
+    j := !j + 4
+  done;
+  while !j < d do
+    acc :=
+      !acc
+      +. (Array.unsafe_get a (abase + !j) *. Array.unsafe_get b (bbase + !j));
+    incr j
+  done;
+  !acc
+
+let dot t i (q : float array) =
+  check_row t i "Flat.dot";
+  if Array.length q <> t.d then invalid_arg "Flat.dot: dimension mismatch";
+  dot_stride t.data (i * t.d) q 0 t.d
+
+let dot_rows a i b j =
+  check_row a i "Flat.dot_rows";
+  check_row b j "Flat.dot_rows";
+  if a.d <> b.d then invalid_arg "Flat.dot_rows: dimension mismatch";
+  dot_stride a.data (i * a.d) b.data (j * b.d) a.d
+
+let slacks t ~normal ~offset ~out =
+  if Array.length normal <> t.d then
+    invalid_arg "Flat.slacks: dimension mismatch";
+  if Array.length out < t.n then invalid_arg "Flat.slacks: out too short";
+  let data = t.data and d = t.d in
+  for i = 0 to t.n - 1 do
+    Array.unsafe_set out i (dot_stride data (i * d) normal 0 d -. offset)
+  done
+
+let argmax_dot t (q : float array) =
+  if t.n = 0 then invalid_arg "Flat.argmax_dot: no rows";
+  if Array.length q <> t.d then
+    invalid_arg "Flat.argmax_dot: dimension mismatch";
+  let data = t.data and d = t.d in
+  let best = ref 0 and bx = ref (dot_stride data 0 q 0 d) in
+  for i = 1 to t.n - 1 do
+    let x = dot_stride data (i * d) q 0 d in
+    (* replace unless the incumbent compares >= x: first row wins exact
+       ties, and a NaN incumbent is always replaced — the boxed reference
+       fold's behaviour, bit for bit *)
+    if not (!bx >= x) then begin
+      best := i;
+      bx := x
+    end
+  done;
+  (!best, !bx)
+
+let for_all_dot_le t (q : float array) bound =
+  if Array.length q <> t.d then
+    invalid_arg "Flat.for_all_dot_le: dimension mismatch";
+  let data = t.data and d = t.d in
+  let i = ref 0 and ok = ref true in
+  while !ok && !i < t.n do
+    if not (dot_stride data (!i * d) q 0 d <= bound) then ok := false;
+    incr i
+  done;
+  !ok
+
+(* ---- blocked max-dot kernel ---------------------------------------------- *)
+
+let default_tile = 32
+
+let champions ?(tile = default_tile) ~vertices ~cands targets ~tlo ~thi
+    ~out_row ~out_val =
+  if tile < 1 then invalid_arg "Flat.champions: tile must be >= 1";
+  if vertices.d <> cands.d then
+    invalid_arg "Flat.champions: dimension mismatch";
+  if vertices.n = 0 then invalid_arg "Flat.champions: no vertex rows";
+  if tlo < 0 || thi > Array.length targets || tlo > thi then
+    invalid_arg "Flat.champions: bad target range";
+  if Array.length out_row < cands.n || Array.length out_val < cands.n then
+    invalid_arg "Flat.champions: out arrays shorter than the candidate set";
+  for ti = tlo to thi - 1 do
+    let j = targets.(ti) in
+    if j < 0 || j >= cands.n then
+      invalid_arg "Flat.champions: target out of range"
+  done;
+  let vdata = vertices.data and cdata = cands.data and d = vertices.d in
+  let m = vertices.n in
+  let tiles = ref 0 in
+  (* Tile the vertex rows: one tile (<= tile * d floats, ~1.5 KB at the
+     default) stays resident in L1 while every target candidate streams
+     against it; candidate rows are short and prefetch linearly. The
+     running (best row, best value) lives in the caller's out slots, so
+     tiling is invisible to the fold order: row 0 initialises, later rows
+     replace only when [not (best >= x)] — identical to one flat scan. *)
+  let v0 = ref 0 in
+  while !v0 < m do
+    incr tiles;
+    let v1 = min m (!v0 + tile) in
+    let first_tile = !v0 = 0 in
+    for ti = tlo to thi - 1 do
+      let j = Array.unsafe_get targets ti in
+      let cbase = j * d in
+      let br = ref (if first_tile then 0 else Array.unsafe_get out_row j)
+      and bx =
+        ref
+          (if first_tile then dot_stride vdata 0 cdata cbase d
+           else Array.unsafe_get out_val j)
+      in
+      let vstart = if first_tile then !v0 + 1 else !v0 in
+      for v = vstart to v1 - 1 do
+        let x = dot_stride vdata (v * d) cdata cbase d in
+        if not (!bx >= x) then begin
+          br := v;
+          bx := x
+        end
+      done;
+      Array.unsafe_set out_row j !br;
+      Array.unsafe_set out_val j !bx
+    done;
+    v0 := v1
+  done;
+  !tiles

@@ -16,13 +16,34 @@ let check_dim u v name =
   if Array.length u <> Array.length v then
     invalid_arg (name ^ ": dimension mismatch")
 
-let dot u v =
-  check_dim u v "Vector.dot";
+(* Unrolled by 4 on a single accumulator chain: ((((acc + x0) + x1) + x2)
+   + x3) is the sequential loop's exact rounding order, so the unroll is
+   bit-identical to the naive loop while dropping most of the per-iteration
+   branch and bounds traffic. No dimension check: callers guarantee
+   [length v >= length u] (the kernel-side contract; see .mli). *)
+let dot_unsafe u v =
+  let d = Array.length u in
   let acc = ref 0. in
-  for i = 0 to Array.length u - 1 do
-    acc := !acc +. (u.(i) *. v.(i))
+  let i = ref 0 in
+  while !i + 3 < d do
+    let j = !i in
+    acc :=
+      !acc
+      +. (Array.unsafe_get u j *. Array.unsafe_get v j)
+      +. (Array.unsafe_get u (j + 1) *. Array.unsafe_get v (j + 1))
+      +. (Array.unsafe_get u (j + 2) *. Array.unsafe_get v (j + 2))
+      +. (Array.unsafe_get u (j + 3) *. Array.unsafe_get v (j + 3));
+    i := !i + 4
+  done;
+  while !i < d do
+    acc := !acc +. (Array.unsafe_get u !i *. Array.unsafe_get v !i);
+    incr i
   done;
   !acc
+
+let dot u v =
+  check_dim u v "Vector.dot";
+  dot_unsafe u v
 
 let norm v = sqrt (dot v v)
 

@@ -28,9 +28,16 @@ val zero : int -> t
     [0 <= i < d]. *)
 val basis : int -> int -> t
 
-(** [dot u v] is the inner product. Raises [Invalid_argument] on dimension
+(** [dot u v] is the inner product, accumulated strictly left to right in
+    coordinate order (4-wide unrolled single-accumulator chain — the same
+    rounding as the naive loop). Raises [Invalid_argument] on dimension
     mismatch. *)
 val dot : t -> t -> float
+
+(** [dot_unsafe u v] is [dot u v] without the dimension check or bounds
+    checks. Reserved for kernel-grade hot loops whose callers guarantee
+    [dim v >= dim u]; everything else should call {!dot}. *)
+val dot_unsafe : t -> t -> float
 
 (** [norm v] is the Euclidean norm. *)
 val norm : t -> float

@@ -1,4 +1,5 @@
 module Vector = Kregret_geom.Vector
+module Flat = Kregret_geom.Flat
 module Dataset = Kregret_dataset.Dataset
 module Pool = Kregret_parallel.Pool
 module Obs = Kregret_obs
@@ -50,6 +51,44 @@ let cut_box_vertices ?(eps = default_eps) q =
   done;
   !out
 
+(* Flat variant of [cut_box_vertices]: the same corner/edge enumeration in
+   the same order, written straight into a flat SoA buffer through two
+   reusable scratch rows — no per-vertex boxed allocation. The happy screen
+   enumerates these sets for every skyline point inside a parallel region;
+   on OCaml 5 the allocation traffic of the boxed version was minor-GC
+   pressure that every domain paid for in stop-the-world syncs (ISSUE 6). *)
+let cut_box_vertices_flat ?(eps = default_eps) q =
+  let d = Vector.dim q in
+  if d > 20 then invalid_arg "Happy.cut_box_vertices_flat: d > 20";
+  let out = Flat.create ~capacity:64 ~dim:d () in
+  let corner = Array.make d 0. and edge = Array.make d 0. in
+  (* The rows come out in [cut_box_vertices]'s cons-reversed probe order —
+     masks descending, edges (descending i) before their corner — because
+     the membership sweep's early exit depends on it: heavy corners (many
+     coordinates at 1) are the rows most likely to refute [w . p <= 1], and
+     starting from the all-zero corner instead costs a full extra pass per
+     probe on average. Verdicts are order-independent; only speed isn't. *)
+  for mask = (1 lsl d) - 1 downto 0 do
+    for i = 0 to d - 1 do
+      corner.(i) <- (if mask land (1 lsl i) <> 0 then 1. else 0.)
+    done;
+    let s = Vector.dot_unsafe corner q in
+    (* edges leaving this corner upward in dimension i (bit i clear): the cut
+       hyperplane crosses the edge when s < 1 < s + q_i *)
+    for i = d - 1 downto 0 do
+      if mask land (1 lsl i) = 0 then begin
+        let s_top = s +. q.(i) in
+        if s < 1. -. eps && s_top > 1. +. eps then begin
+          Array.blit corner 0 edge 0 d;
+          edge.(i) <- (1. -. s) /. q.(i);
+          Flat.push_row out edge
+        end
+      end
+    done;
+    if s <= 1. +. eps then Flat.push_row out corner
+  done;
+  out
+
 (* "p is on or below every hyperplane of Y(q)" == p is in the polytope P_q,
    tested against all dual vertices. *)
 let inside_pq ~eps vertices p =
@@ -76,10 +115,17 @@ let happy_points ?(eps = default_eps) points =
   let n = Array.length points in
   (* each [Q_q] vertex enumeration is independent: fan out over the pool *)
   Obs.Counter.add c_candidates n;
-  let vertex_sets = Array.make n [] in
-  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
-      let vs = cut_box_vertices ~eps points.(i) in
-      Obs.Counter.add c_cut_vertices (List.length vs);
+  let d = if n = 0 then 1 else Vector.dim points.(0) in
+  let dummy = Flat.create ~dim:d () in
+  let vertex_sets = Array.make n dummy in
+  (* cost hint: one enumeration walks 2^d corners at ~d ns-scale work each,
+     plus the buffer writes *)
+  Pool.parallel_for
+    ~cost:(20. *. float_of_int ((1 lsl d) * d))
+    ~lo:0 ~hi:n
+    (fun i ->
+      let vs = cut_box_vertices_flat ~eps points.(i) in
+      Obs.Counter.add c_cut_vertices (Flat.rows vs);
       vertex_sets.(i) <- vs);
   (* probe strong subjugators first: a point with a large coordinate sum has
      a large [P_q] and disqualifies most victims, so the inner loop's early
@@ -91,9 +137,15 @@ let happy_points ?(eps = default_eps) points =
   (* per-victim verdicts are independent of each other (they only read
      [points] / [vertex_sets]), so the quadratic subjugation loop fans out
      too; verdicts land in disjoint slots and the survivor list is rebuilt
-     in index order, identical for every pool width *)
+     in index order, identical for every pool width. The membership test
+     [p in P_q] streams each flat vertex set with an early-exit dot sweep —
+     the same conjunction the boxed List.for_all computed. *)
   let keep = Array.make n false in
-  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
+  let bound = 1. +. eps in
+  Pool.parallel_for
+    ~cost:(30. *. float_of_int n)
+    ~lo:0 ~hi:n
+    (fun i ->
       let p = points.(i) in
       let subjugated = ref false in
       let probes = ref 0 in
@@ -104,7 +156,7 @@ let happy_points ?(eps = default_eps) points =
             let q = points.(j) in
             if
               (not (Vector.equal ~eps:0. q p))
-              && inside_pq ~eps vertex_sets.(j) p
+              && Flat.for_all_dot_le vertex_sets.(j) p bound
               && not (on_all_hyperplanes ~eps q p)
             then subjugated := true
           end)

@@ -31,6 +31,13 @@
 val cut_box_vertices :
   ?eps:float -> Kregret_geom.Vector.t -> Kregret_geom.Vector.t list
 
+(** [cut_box_vertices_flat ~eps q] is the same enumeration written into a
+    flat SoA buffer (rows in generation order — [cut_box_vertices] returns
+    the reversed list) with no per-vertex allocation; the hot screen in
+    {!happy_points} runs on these (ISSUE 6). *)
+val cut_box_vertices_flat :
+  ?eps:float -> Kregret_geom.Vector.t -> Kregret_geom.Flat.t
+
 (** [subjugates ~eps q p] — does [q] subjugate [p]? Both points must be
     strictly positive and lie in [(0,1]^d]. A point never subjugates itself
     (or an exact duplicate). *)

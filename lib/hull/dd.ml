@@ -1,5 +1,6 @@
 module Vector = Kregret_geom.Vector
 module Matrix = Kregret_geom.Matrix
+module Flat = Kregret_geom.Flat
 module Obs = Kregret_obs
 
 (* Observability: the double-description walk is sequential, so every count
@@ -30,12 +31,26 @@ type t = {
   bound : float;
   (* constraint j: normals.(j) . w <= offsets.(j).
      Layout: 0..d-1 nonnegativity (-w_i <= 0), d..2d-1 box (w_i <= bound),
-     2d.. user constraints. *)
+     2d.. user constraints. The normals live twice: flat in [cons] for the
+     per-constraint dot sweeps (compute_tight, contains) and boxed in
+     [normals] so the adjacency rank tests can share row pointers with
+     {!Matrix.rank} without copying. *)
   mutable normals : Vector.t array;
   mutable offsets : float array;
   mutable ncons : int;
+  cons : Flat.t;
   vertices : (int, vertex) Hashtbl.t;
+  (* Flat mirror of the live vertex coordinates (ISSUE 6): row [r] of
+     [store] belongs to vertex [ids.(r)] and [row_of_id] inverts that.
+     Removal is swap-remove — the last row drops into the hole — so the
+     row order is a pure function of the operation sequence and the hot
+     sweeps (slack classification, max-dot, GeoGreedy's champion kernel)
+     stream one contiguous buffer instead of walking the hashtable. *)
+  store : Flat.t;
+  mutable ids : int array;
+  row_of_id : (int, int) Hashtbl.t;
   mutable next_id : int;
+  mutable slack_buf : float array; (* scratch for the classification sweep *)
   class_eps : float; (* strictly-inside / on / cut classification *)
   tight_eps : float; (* tight-set recomputation *)
 }
@@ -50,8 +65,17 @@ type event = {
 let dim t = t.d
 let num_vertices t = Hashtbl.length t.vertices
 let num_constraints t = t.ncons - (2 * t.d)
-let vertices t = Hashtbl.fold (fun _ v acc -> v :: acc) t.vertices []
+
+(* store order: deterministic given the operation sequence *)
+let vertices t =
+  let out = ref [] in
+  for r = Flat.rows t.store - 1 downto 0 do
+    out := Hashtbl.find t.vertices t.ids.(r) :: !out
+  done;
+  !out
+
 let find_vertex t id = Hashtbl.find_opt t.vertices id
+let flat_view t = (t.store, t.ids)
 
 let grow t =
   if t.ncons = Array.length t.normals then begin
@@ -69,10 +93,11 @@ let push_constraint t normal offset =
   let j = t.ncons in
   t.normals.(j) <- normal;
   t.offsets.(j) <- offset;
+  Flat.push_row t.cons normal;
   t.ncons <- j + 1;
   j
 
-let slack t j w = Vector.dot t.normals.(j) w -. t.offsets.(j)
+let slack t j w = Flat.dot t.cons j w -. t.offsets.(j)
 
 (* Tolerances scale with the vertex magnitude so that vertices sitting on the
    (potentially huge) artificial bounding box are classified as robustly as
@@ -88,12 +113,36 @@ let compute_tight t w =
   done;
   Array.of_list !out
 
+let store_push t id (w : Vector.t) =
+  Flat.push_row t.store w;
+  let r = Flat.rows t.store - 1 in
+  if r >= Array.length t.ids then begin
+    let cap = max 16 (2 * Array.length t.ids) in
+    let ids = Array.make cap (-1) in
+    Array.blit t.ids 0 ids 0 (Array.length t.ids);
+    t.ids <- ids
+  end;
+  t.ids.(r) <- id;
+  Hashtbl.replace t.row_of_id id r
+
+let store_remove t id =
+  let r = Hashtbl.find t.row_of_id id in
+  let last = Flat.rows t.store - 1 in
+  Flat.swap_remove t.store r;
+  Hashtbl.remove t.row_of_id id;
+  if r <> last then begin
+    let moved = t.ids.(last) in
+    t.ids.(r) <- moved;
+    Hashtbl.replace t.row_of_id moved r
+  end
+
 let fresh_vertex t w =
   Obs.Counter.incr c_created;
   let id = t.next_id in
   t.next_id <- id + 1;
   let v = { id; w; tight = compute_tight t w } in
   Hashtbl.replace t.vertices id v;
+  store_push t id w;
   v
 
 (* [create] seeds the vertex set with every corner of the bounding box:
@@ -119,8 +168,13 @@ let create ?(bound = 1e3) ~dim () =
       normals = [||];
       offsets = [||];
       ncons = 0;
+      cons = Flat.create ~capacity:32 ~dim ();
       vertices = Hashtbl.create 64;
+      store = Flat.create ~capacity:64 ~dim ();
+      ids = Array.make 64 (-1);
+      row_of_id = Hashtbl.create 64;
       next_id = 0;
+      slack_buf = Array.make 64 0.;
       class_eps = 1e-9;
       tight_eps = 1e-8;
     }
@@ -172,17 +226,23 @@ let add_constraint t ~normal ~offset =
   if Vector.dim normal <> t.d then
     invalid_arg "Dd.add_constraint: dimension mismatch";
   Obs.Counter.incr c_constraints;
-  let slacks = Hashtbl.create (num_vertices t) in
+  (* Classification sweep as one linear pass over the flat store — the
+     former per-vertex [Vector.dot] hashtable walk was the Dd hot loop
+     (ISSUE 6). The lists come out in store-row order, so the whole event
+     (creation order, ids, dedup decisions) stays deterministic. *)
+  let nrows = Flat.rows t.store in
+  if Array.length t.slack_buf < nrows then
+    t.slack_buf <- Array.make (max nrows (2 * Array.length t.slack_buf)) 0.;
+  Flat.slacks t.store ~normal ~offset ~out:t.slack_buf;
   let cut = ref [] and kept_strict = ref [] and on = ref [] in
-  Hashtbl.iter
-    (fun id v ->
-      let s = Vector.dot normal v.w -. offset in
-      let eps = t.class_eps *. vertex_scale v.w in
-      Hashtbl.replace slacks id s;
-      if s > eps then cut := v :: !cut
-      else if s < -.eps then kept_strict := v :: !kept_strict
-      else on := v :: !on)
-    t.vertices;
+  for r = nrows - 1 downto 0 do
+    let v = Hashtbl.find t.vertices t.ids.(r) in
+    let s = t.slack_buf.(r) in
+    let eps = t.class_eps *. vertex_scale v.w in
+    if s > eps then cut := (v, s) :: !cut
+    else if s < -.eps then kept_strict := (v, s) :: !kept_strict
+    else on := v :: !on
+  done;
   let j = push_constraint t normal offset in
   (* vertices exactly on the new hyperplane gain it in their tight set *)
   let touched =
@@ -248,44 +308,41 @@ let add_constraint t ~normal ~offset =
         end
       in
       List.iter
-        (fun v ->
-          let sv = Hashtbl.find slacks v.id in
+        (fun (v, sv) ->
           List.iter
-            (fun u ->
+            (fun (u, su) ->
               if adjacent t u v then begin
-                let su = Hashtbl.find slacks u.id in
                 let alpha = su /. (su -. sv) in
                 consider (Vector.lerp u.w v.w alpha)
               end)
             !kept_strict)
         cut_list;
-      List.iter (fun v -> Hashtbl.remove t.vertices v.id) cut_list;
+      List.iter
+        (fun (v, _) ->
+          Hashtbl.remove t.vertices v.id;
+          store_remove t v.id)
+        cut_list;
       Obs.Counter.add c_dropped (List.length cut_list);
       ignore j;
       {
-        removed = List.map (fun v -> v.id) cut_list;
+        removed = List.map (fun (v, _) -> v.id) cut_list;
         created = !created;
         touched;
         redundant = false;
       }
 
 let max_dot t q =
-  let best = ref None in
-  Hashtbl.iter
-    (fun _ v ->
-      let x = Vector.dot v.w q in
-      match !best with
-      | Some (_, bx) when bx >= x -> ()
-      | _ -> best := Some (v, x))
-    t.vertices;
-  match !best with
-  | Some r -> r
-  | None -> invalid_arg "Dd.max_dot: polytope has no vertices"
+  if Flat.rows t.store = 0 then
+    invalid_arg "Dd.max_dot: polytope has no vertices";
+  let r, x = Flat.argmax_dot t.store q in
+  (Hashtbl.find t.vertices t.ids.(r), x)
 
 let contains ~eps t w =
   let ok = ref true in
-  for j = 0 to t.ncons - 1 do
-    if slack t j w > eps then ok := false
+  let j = ref 0 in
+  while !ok && !j < t.ncons do
+    if slack t !j w > eps then ok := false;
+    incr j
   done;
   !ok
 
@@ -303,4 +360,35 @@ let check_invariants ?(eps = 1e-7) t =
       if Matrix.rank ~eps:1e-9 m < t.d then
         failwith
           (Printf.sprintf "Dd: vertex %d tight set has rank < d" v.id))
-    t.vertices
+    t.vertices;
+  (* the flat mirror must agree with the hashtable bit for bit *)
+  if Flat.rows t.store <> Hashtbl.length t.vertices then
+    failwith "Dd: flat store row count disagrees with the vertex table";
+  for r = 0 to Flat.rows t.store - 1 do
+    let id = t.ids.(r) in
+    (match Hashtbl.find_opt t.row_of_id id with
+    | Some r' when r' = r -> ()
+    | _ -> failwith (Printf.sprintf "Dd: row_of_id stale for vertex %d" id));
+    match Hashtbl.find_opt t.vertices id with
+    | None -> failwith (Printf.sprintf "Dd: store row %d has no vertex" r)
+    | Some v ->
+        for c = 0 to t.d - 1 do
+          if
+            Int64.bits_of_float (Flat.get t.store r c)
+            <> Int64.bits_of_float v.w.(c)
+          then
+            failwith
+              (Printf.sprintf "Dd: store row %d diverges from vertex %d" r id)
+        done
+  done;
+  (* the flat constraint matrix mirrors the boxed normals *)
+  if Flat.rows t.cons <> t.ncons then
+    failwith "Dd: flat constraint matrix out of sync";
+  for j = 0 to t.ncons - 1 do
+    for c = 0 to t.d - 1 do
+      if
+        Int64.bits_of_float (Flat.get t.cons j c)
+        <> Int64.bits_of_float t.normals.(j).(c)
+      then failwith (Printf.sprintf "Dd: flat constraint %d diverges" j)
+    done
+  done

@@ -65,8 +65,16 @@ val dim : t -> int
 val add_constraint :
   t -> normal:Kregret_geom.Vector.t -> offset:float -> event
 
-(** [vertices t] is the current vertex list (unspecified order). *)
+(** [vertices t] is the current vertex list, in flat-store row order — a
+    deterministic function of the operation sequence (see {!flat_view}). *)
 val vertices : t -> vertex list
+
+(** [flat_view t] exposes the flat mirror of the live vertex coordinates:
+    a matrix whose row [r] holds the coordinates of vertex [ids.(r)], for
+    [r < Flat.rows store] (later [ids] entries are garbage). This is the
+    buffer the blocked champion kernel streams (ISSUE 6). Read-only view:
+    do not mutate it, and treat it as invalidated by {!add_constraint}. *)
+val flat_view : t -> Kregret_geom.Flat.t * int array
 
 (** [num_vertices t] is [List.length (vertices t)] without the allocation. *)
 val num_vertices : t -> int

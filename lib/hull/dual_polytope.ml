@@ -23,5 +23,6 @@ let max_regret_ratio t ~data =
   Float.max 0. (1. -. worst)
 
 let num_vertices t = Dd.num_vertices t.dd
+let flat_view t = Dd.flat_view t.dd
 let selection_size t = t.inserted
 let dd t = t.dd

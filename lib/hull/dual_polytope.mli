@@ -49,6 +49,11 @@ val num_vertices : t -> int
 (** [selection_size t] counts inserted points. *)
 val selection_size : t -> int
 
+(** [flat_view t] is {!Dd.flat_view} of the underlying structure: the flat
+    vertex-coordinate matrix and its row → vertex-id map, for the blocked
+    champion kernel (ISSUE 6). *)
+val flat_view : t -> Kregret_geom.Flat.t * int array
+
 (** [dd t] exposes the underlying double-description structure (used by the
     incremental GeoGreedy and by tests). *)
 val dd : t -> Dd.t

@@ -21,7 +21,42 @@
    - Determinism: chunk boundaries are a pure function of the range and
      [chunk_size] (never of [jobs]), and [map_reduce] folds chunk results
      left-to-right on the caller. Parallelism decides only *when* a chunk
-     runs, never *what* it computes or how results combine. *)
+     runs, never *what* it computes or how results combine.
+
+   - Granularity model (ISSUE 6). Regions carry an optional [?cost] hint:
+     the caller's estimate of the work per index, in arbitrary units
+     calibrated as ~nanoseconds (default [default_cost] = 1000). The plan
+     derived from it is a pure function of (n, cost, chunk_size) — never
+     of [jobs] — so it preserves the bit-identity contract:
+
+       - inline threshold: when [n * cost < inline_cutoff] (~50 us) the
+         whole region is a single chunk and runs on the caller, paying
+         zero pool machinery. Small regions (GeoGreedy event rescans over
+         a few hundred candidates, tiny happy sets) used to be split into
+         64 chunks whose scheduling cost exceeded their work — the
+         sub-1x jobs=2 "speedup" in BENCH_scal.json before this change.
+       - adaptive chunk size: otherwise chunks carry at least
+         [target_chunk_cost] (~200 us) of estimated work each, capped at
+         [max_chunks] = 64 chunks per region, so per-chunk scheduling
+         (one atomic fetch-add + one mutex round per chunk) stays well
+         under 1% of chunk work while still load-balancing up to ~16
+         domains.
+
+     An explicit [?chunk_size] bypasses the model entirely (tests pin
+     exact boundaries with it).
+
+   - Oversubscription cap (ISSUE 6). A pool requested with [jobs] domains
+     spawns at most [recommended_domain_count () - 1] workers: extra
+     domains beyond the physical cores cannot add throughput, but they do
+     add context switches and — much worse on OCaml 5 — stop-the-world
+     minor-GC synchronisation across domains time-sharing one core. This
+     was the other half of the sub-1x jobs=2 regression on single-core CI
+     runners. The cap changes only which domain executes a chunk; chunk
+     boundaries and fold order still come from the plan above, so results
+     are bit-identical to the uncapped pool. [jobs t] keeps reporting the
+     requested width; nested-region rejection also keys on the requested
+     width, so code that is wrong on a multicore box fails on a capped
+     box too. *)
 
 module Obs = Kregret_obs
 
@@ -45,14 +80,26 @@ let h_chunk_seconds =
   Obs.Registry.histogram "pool.chunk_seconds"
     ~help:"per-chunk busy time, seconds (sum = total busy time)"
 
+(* Per-region busy-time imbalance: (max chunk - mean chunk) / mean chunk,
+   recorded for pooled regions with >= 2 chunks. 0 = perfectly even; a
+   value near [chunks - 1] means one chunk carried the whole region (cores
+   idle). Timing-dependent, like chunk_seconds — not width-invariant. *)
+let h_imbalance =
+  Obs.Registry.histogram "pool.region_imbalance"
+    ~buckets:[| 0.01; 0.05; 0.1; 0.25; 0.5; 1.; 2.; 8. |]
+    ~help:"per-region chunk busy-time imbalance, (max - mean) / mean"
+
 (* time one chunk body only when recording, to avoid two clock reads per
-   chunk on the fast path *)
-let timed_chunk body c =
+   chunk on the fast path; [durations] additionally collects per-chunk
+   busy times for the region-imbalance histogram *)
+let timed_chunk ?durations body c =
   if Obs.Control.enabled () then begin
     let t0 = Obs.Control.now () in
     Fun.protect
       ~finally:(fun () ->
-        Obs.Histogram.observe h_chunk_seconds (Obs.Control.now () -. t0))
+        let dt = Obs.Control.now () -. t0 in
+        Obs.Histogram.observe h_chunk_seconds dt;
+        match durations with Some a -> a.(c) <- dt | None -> ())
       (fun () -> body c)
   end
   else body c
@@ -66,7 +113,8 @@ type job = {
 }
 
 type t = {
-  jobs : int;
+  jobs : int; (* requested width (the API-visible value) *)
+  width : int; (* participating domains: 1 + spawned workers, <= cores *)
   mutex : Mutex.t;
   work_ready : Condition.t;
   work_done : Condition.t;
@@ -117,9 +165,11 @@ let rec worker_loop t last_gen =
 
 let create ~jobs =
   if jobs < 1 then invalid_arg "Kregret_parallel.Pool.create: jobs must be >= 1";
+  let width = min jobs (max 1 (Domain.recommended_domain_count ())) in
   let t =
     {
       jobs;
+      width;
       mutex = Mutex.create ();
       work_ready = Condition.create ();
       work_done = Condition.create ();
@@ -131,8 +181,8 @@ let create ~jobs =
     }
   in
   t.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
-  Obs.Gauge.set_int g_width jobs;
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  Obs.Gauge.set_int g_width width;
   t
 
 let shutdown t =
@@ -157,18 +207,45 @@ let run_chunks t ~chunks body =
     (* [chunks = 1] is a property of the range, not the width — counting the
        jobs=1 inline path here instead would break cross-width bit-identity *)
     if chunks = 1 then Obs.Counter.incr c_single;
-    if t.jobs = 1 || chunks = 1 then begin
-      (* inline: no pool machinery, exceptions propagate naturally *)
-      for c = 0 to chunks - 1 do
-        timed_chunk body c
-      done
+    let durations =
+      if Obs.Control.enabled () && chunks >= 2 then
+        Some (Array.make chunks 0.)
+      else None
+    in
+    let observe_imbalance () =
+      match durations with
+      | Some a ->
+          let sum = Array.fold_left ( +. ) 0. a in
+          let mx = Array.fold_left Float.max neg_infinity a in
+          let mean = sum /. float_of_int chunks in
+          if mean > 0. then
+            Obs.Histogram.observe h_imbalance ((mx -. mean) /. mean)
+      | None -> ()
+    in
+    if t.width = 1 || chunks = 1 then begin
+      (* inline: no pool machinery, exceptions propagate naturally. A
+         multi-chunk region on a width-capped jobs > 1 pool still takes the
+         busy guard, so nested-region misuse fails on a single-core box
+         exactly as it would on a multicore one. *)
+      let run () =
+        for c = 0 to chunks - 1 do
+          timed_chunk ?durations body c
+        done;
+        observe_imbalance ()
+      in
+      if t.jobs > 1 && chunks > 1 then begin
+        if not (Atomic.compare_and_set t.busy false true) then
+          invalid_arg "Kregret_parallel.Pool: nested parallel region";
+        Fun.protect ~finally:(fun () -> Atomic.set t.busy false) run
+      end
+      else run ()
     end
     else begin
       if not (Atomic.compare_and_set t.busy false true) then
         invalid_arg "Kregret_parallel.Pool: nested parallel region";
       let job =
         {
-          body = timed_chunk body;
+          body = timed_chunk ?durations body;
           count = chunks;
           next = Atomic.make 0;
           unfinished = chunks;
@@ -187,6 +264,8 @@ let run_chunks t ~chunks body =
       done;
       Mutex.unlock t.mutex;
       Atomic.set t.busy false;
+      (* completion happened-before this read (the mutex round above) *)
+      observe_imbalance ();
       match job.failure with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ()
@@ -239,27 +318,41 @@ let get () =
 
 (* ---- chunked iteration ---------------------------------------------------- *)
 
-(* At most 64 chunks; a pure function of the range so that reduction
-   boundaries never depend on the pool width. 64 keeps per-chunk scheduling
-   cost negligible while load-balancing up to ~16 domains. *)
-let default_chunk_size ~n = max 1 ((n + 63) / 64)
+(* Granularity model (see the header comment): all values are pure
+   functions of (n, cost, chunk_size) — never of the pool width — so chunk
+   boundaries, and with them every reduction order, stay bit-identical
+   across KREGRET_JOBS values. Cost units are calibrated as ~nanoseconds
+   of work per index. *)
+let default_cost = 1_000.
+let inline_cutoff = 50_000. (* below ~50 us of work: run inline, one chunk *)
+let target_chunk_cost = 200_000. (* aim for >= ~200 us of work per chunk *)
+let max_chunks = 64
+
+let default_chunk_size ~n = max 1 ((n + max_chunks - 1) / max_chunks)
+
+let chunk_plan ?chunk_size ?(cost = default_cost) ~n () =
+  if n <= 0 then invalid_arg "Kregret_parallel.Pool.chunk_plan: n must be >= 1";
+  match chunk_size with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Kregret_parallel.Pool: chunk_size must be >= 1"
+  | None ->
+      let cost = if Float.is_finite cost && cost > 1. then cost else 1. in
+      if float_of_int n *. cost < inline_cutoff then n
+      else
+        let by_cost = int_of_float (Float.ceil (target_chunk_cost /. cost)) in
+        max (default_chunk_size ~n) (max 1 (min n by_cost))
 
 let resolve = function Some p -> p | None -> get ()
 
-let chunking ?chunk_size n =
-  let cs =
-    match chunk_size with
-    | None -> default_chunk_size ~n
-    | Some c when c >= 1 -> c
-    | Some _ -> invalid_arg "Kregret_parallel.Pool: chunk_size must be >= 1"
-  in
+let chunking ?chunk_size ?cost n =
+  let cs = chunk_plan ?chunk_size ?cost ~n () in
   (cs, (n + cs - 1) / cs)
 
-let parallel_for ?pool ?chunk_size ~lo ~hi body =
+let parallel_for ?pool ?chunk_size ?cost ~lo ~hi body =
   let n = hi - lo in
   if n > 0 then begin
     let t = resolve pool in
-    let cs, chunks = chunking ?chunk_size n in
+    let cs, chunks = chunking ?chunk_size ?cost n in
     run_chunks t ~chunks (fun c ->
         let a = lo + (c * cs) in
         let b = min hi (a + cs) in
@@ -268,12 +361,12 @@ let parallel_for ?pool ?chunk_size ~lo ~hi body =
         done)
   end
 
-let map_reduce ?pool ?chunk_size ~lo ~hi ~map ~reduce init =
+let map_reduce ?pool ?chunk_size ?cost ~lo ~hi ~map ~reduce init =
   let n = hi - lo in
   if n <= 0 then init
   else begin
     let t = resolve pool in
-    let cs, chunks = chunking ?chunk_size n in
+    let cs, chunks = chunking ?chunk_size ?cost n in
     let slots = Array.make chunks None in
     run_chunks t ~chunks (fun c ->
         let a = lo + (c * cs) in

@@ -32,8 +32,13 @@ type t
 (** A pool of [jobs - 1] worker domains plus the calling domain. *)
 
 val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]).
-    [jobs = 1] creates a trivial pool that runs everything inline. *)
+(** [create ~jobs] spawns up to [jobs - 1] worker domains ([jobs >= 1]),
+    capped so workers + caller never exceed
+    [Domain.recommended_domain_count ()] — oversubscribing physical cores
+    buys no throughput and pays cross-domain minor-GC synchronisation.
+    The cap affects scheduling only; results are identical to an uncapped
+    pool (see the determinism contract). [jobs = 1] creates a trivial
+    pool that runs everything inline. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. Using the pool after
@@ -64,16 +69,28 @@ val get : unit -> t
 (** {1 Parallel iteration} *)
 
 val parallel_for :
-  ?pool:t -> ?chunk_size:int -> lo:int -> hi:int -> (int -> unit) -> unit
+  ?pool:t ->
+  ?chunk_size:int ->
+  ?cost:float ->
+  lo:int ->
+  hi:int ->
+  (int -> unit) ->
+  unit
 (** [parallel_for ~lo ~hi body] runs [body i] for every [lo <= i < hi],
     split into chunks executed by the pool (the global one unless [?pool]
     is given). Within a chunk indices run in increasing order; chunks may
     run in any order, concurrently. [body] must only write to locations
-    owned by index [i]. *)
+    owned by index [i].
+
+    [?cost] is the caller's estimate of the work per index in ~nanoseconds
+    (default {!default_cost}); it drives {!chunk_plan} and affects only
+    scheduling granularity, never results — the plan is a pure function of
+    the range and the hint, independent of the pool width. *)
 
 val map_reduce :
   ?pool:t ->
   ?chunk_size:int ->
+  ?cost:float ->
   lo:int ->
   hi:int ->
   map:(int -> int -> 'a) ->
@@ -85,10 +102,23 @@ val map_reduce :
     chunk results {e sequentially, left to right}:
     [reduce (... (reduce init r0) ...) r_last] where [r_i] is the result
     of the i-th chunk in index order. Chunk boundaries depend only on
-    [hi - lo] and [chunk_size], so the value is independent of the pool
-    width even for non-associative [reduce] (floating-point sums,
-    first-wins argmax ties, list concatenation). *)
+    [hi - lo], [chunk_size] and the [cost] hint, so the value is
+    independent of the pool width even for non-associative [reduce]
+    (floating-point sums, first-wins argmax ties, list concatenation). *)
+
+val default_cost : float
+(** The per-index cost assumed when [?cost] is omitted (1000, i.e. ~1 us
+    of work per index). *)
+
+val chunk_plan : ?chunk_size:int -> ?cost:float -> n:int -> unit -> int
+(** [chunk_plan ~n ()] is the chunk size a region of [n] indices uses: an
+    explicit [?chunk_size] verbatim; otherwise [n] itself (one inline
+    chunk) when the estimated total work [n * cost] is under the ~50 us
+    inline cutoff, else the largest of [ceil (n / 64)] and however many
+    indices it takes to give each chunk ~200 us of estimated work. A pure
+    function of its arguments — never of the pool width. Raises
+    [Invalid_argument] on [n < 1] or [chunk_size < 1]. *)
 
 val default_chunk_size : n:int -> int
-(** The chunk size used when [?chunk_size] is omitted: [max 1 (n / 64)]
-    rounded up — at most 64 chunks, boundaries independent of [jobs]. *)
+(** [max 1 (n / 64)] rounded up — the at-most-64-chunks cap that bounds
+    {!chunk_plan} from below on large ranges. *)

@@ -1,3 +1,5 @@
+module Flat = Kregret_geom.Flat
+
 type relation = Dominates | Dominated | Equal | Incomparable
 
 let compare p q =
@@ -7,6 +9,29 @@ let compare p q =
   for i = 0 to d - 1 do
     if p.(i) > q.(i) then p_wins := true
     else if p.(i) < q.(i) then q_wins := true
+  done;
+  match (!p_wins, !q_wins) with
+  | true, false -> Dominates
+  | false, true -> Dominated
+  | false, false -> Equal
+  | true, true -> Incomparable
+
+(* Same relation, computed over two rows of a flat matrix without touching
+   boxed rows, and with early exit: once both flags are set the verdict is
+   Incomparable whatever the remaining coordinates say (the flags are
+   monotone), so the scan can stop — on anti-correlated data most pairs
+   resolve within the first couple of coordinates. Verdict-equivalence with
+   [compare] is pinned by test/test_flat.ml. *)
+let compare_flat m a b =
+  let n = Flat.rows m in
+  if a < 0 || a >= n || b < 0 || b >= n then
+    invalid_arg "Dominance.compare_flat: row out of range";
+  let d = Flat.dim m in
+  let i = ref 0 and p_wins = ref false and q_wins = ref false in
+  while !i < d && not (!p_wins && !q_wins) do
+    let x = Flat.unsafe_get m a !i and y = Flat.unsafe_get m b !i in
+    if x > y then p_wins := true else if x < y then q_wins := true;
+    incr i
   done;
   match (!p_wins, !q_wins) with
   | true, false -> Dominates

@@ -12,3 +12,8 @@ val dominates : Kregret_geom.Vector.t -> Kregret_geom.Vector.t -> bool
 
 (** [compare p q] classifies the pair in a single pass. *)
 val compare : Kregret_geom.Vector.t -> Kregret_geom.Vector.t -> relation
+
+(** [compare_flat m a b] is [compare (Flat.row m a) (Flat.row m b)]
+    without materialising the rows, with early exit once the verdict is
+    determined. The skyline hot loops route through this (ISSUE 6). *)
+val compare_flat : Kregret_geom.Flat.t -> int -> int -> relation

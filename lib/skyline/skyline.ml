@@ -1,4 +1,5 @@
 module Vector = Kregret_geom.Vector
+module Flat = Kregret_geom.Flat
 module Dataset = Kregret_dataset.Dataset
 module Pool = Kregret_parallel.Pool
 module Obs = Kregret_obs
@@ -20,20 +21,24 @@ let c_survivors =
 (* Each point's verdict is independent of the others', so the O(n^2) scan
    fans out across the domain pool; verdicts land in disjoint slots of
    [keep] and the survivor list is rebuilt in index order afterwards, which
-   makes the result identical for every pool width. *)
+   makes the result identical for every pool width. The dominance tests run
+   over a flat SoA view of the points (ISSUE 6): the inner scan streams one
+   contiguous buffer instead of chasing a pointer per row. *)
 let naive points =
   let n = Array.length points in
   Obs.Counter.add c_scanned n;
+  let fp = if n = 0 then Flat.create ~dim:1 () else Flat.of_rows points in
   let keep = Array.make n false in
-  Pool.parallel_for ~lo:0 ~hi:n (fun i ->
-      let p = points.(i) in
+  (* cost hint: each verdict scans up to n rows at a few ns per early-exit
+     dominance test *)
+  Pool.parallel_for ~cost:(5. *. float_of_int n) ~lo:0 ~hi:n (fun i ->
       let excluded = ref false in
       let tests = ref 0 in
       (* dominated by anyone, or duplicated by an earlier point *)
       for j = 0 to n - 1 do
         if (not !excluded) && j <> i then begin
           incr tests;
-          match Dominance.compare points.(j) p with
+          match Dominance.compare_flat fp j i with
           | Dominance.Dominates -> excluded := true
           | Dominance.Equal when j < i -> excluded := true
           | Dominance.Equal | Dominance.Dominated | Dominance.Incomparable ->
@@ -51,30 +56,31 @@ let naive points =
   result
 
 let bnl points =
-  Obs.Counter.add c_scanned (Array.length points);
+  let n = Array.length points in
+  Obs.Counter.add c_scanned n;
+  let fp = if n = 0 then Flat.create ~dim:1 () else Flat.of_rows points in
   let window = ref [] in
-  Array.iteri
-    (fun i p ->
-      let survives = ref true in
-      let tests = ref 0 in
-      let kept =
-        List.filter
-          (fun j ->
-            if !survives then begin
-              incr tests;
-              match Dominance.compare points.(j) p with
-              | Dominance.Dominates | Dominance.Equal ->
-                  survives := false;
-                  true
-              | Dominance.Dominated -> false
-              | Dominance.Incomparable -> true
-            end
-            else true)
-          !window
-      in
-      Obs.Counter.add c_dom !tests;
-      window := if !survives then i :: kept else kept)
-    points;
+  for i = 0 to n - 1 do
+    let survives = ref true in
+    let tests = ref 0 in
+    let kept =
+      List.filter
+        (fun j ->
+          if !survives then begin
+            incr tests;
+            match Dominance.compare_flat fp j i with
+            | Dominance.Dominates | Dominance.Equal ->
+                survives := false;
+                true
+            | Dominance.Dominated -> false
+            | Dominance.Incomparable -> true
+          end
+          else true)
+        !window
+    in
+    Obs.Counter.add c_dom !tests;
+    window := if !survives then i :: kept else kept
+  done;
   let result = Array.of_list !window in
   Array.sort compare result;
   Obs.Counter.add c_survivors (Array.length result);
@@ -82,20 +88,20 @@ let bnl points =
 
 (* One monotone SFS pass over [idxs] (already in decreasing score order):
    a point enters the window unless an earlier-window point dominates or
-   equals it. Returns the survivors in scan order. *)
-let sfs_pass points idxs =
+   equals it. Returns the survivors in scan order. [fp] is the flat view
+   of the points the indices refer to. *)
+let sfs_pass fp idxs =
   let window = ref [] in
   (* comparison count is a function of the pass's input list alone; flushed
      once per pass so parallel chunk passes stay width-invariant *)
   let tests = ref 0 in
   List.iter
     (fun i ->
-      let p = points.(i) in
       let excluded =
         List.exists
           (fun j ->
             incr tests;
-            match Dominance.compare points.(j) p with
+            match Dominance.compare_flat fp j i with
             | Dominance.Dominates | Dominance.Equal -> true
             | Dominance.Dominated | Dominance.Incomparable -> false)
           !window
@@ -108,6 +114,7 @@ let sfs_pass points idxs =
 let sfs points =
   let n = Array.length points in
   Obs.Counter.add c_scanned n;
+  let fp = if n = 0 then Flat.create ~dim:1 () else Flat.of_rows points in
   let order = Array.init n Fun.id in
   let score = Array.map Vector.sum points in
   (* the sort stays sequential: it is O(n log n) against the O(n * |sky|)
@@ -121,17 +128,22 @@ let sfs points =
      chunk's survivors — the final sequential pass over the concatenated
      survivors therefore returns exactly the sequential SFS window. *)
   let survivors =
-    Pool.map_reduce ~lo:0 ~hi:n
+    (* cost hint: a pass over c indices does O(c * local window) tests;
+       the local window is unknowable up front, so charge a sublinear
+       stand-in that still inlines small inputs and coarsens large ones *)
+    Pool.map_reduce
+      ~cost:(10. *. sqrt (float_of_int n))
+      ~lo:0 ~hi:n
       ~map:(fun a b ->
         let idxs = ref [] in
         for i = b - 1 downto a do
           idxs := order.(i) :: !idxs
         done;
-        sfs_pass points !idxs)
+        sfs_pass fp !idxs)
       ~reduce:(fun acc chunk -> acc @ chunk)
       []
   in
-  let result = Array.of_list (sfs_pass points survivors) in
+  let result = Array.of_list (sfs_pass fp survivors) in
   Array.sort compare result;
   Obs.Counter.add c_survivors (Array.length result);
   result

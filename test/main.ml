@@ -9,6 +9,7 @@ let () =
       ("vector", Test_vector.suite);
       ("matrix", Test_matrix.suite);
       ("geom", Test_geom.suite);
+      ("flat", Test_flat.suite);
       ("simplex", Test_simplex.suite);
       ("regret-lp", Test_regret_lp.suite);
       ("hull", Test_hull.suite);

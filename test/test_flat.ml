@@ -1,0 +1,247 @@
+(* Equivalence suite for the flat SoA kernels (ISSUE 6). The perf rewrite
+   is only allowed to change timings, never results: every Flat kernel must
+   reproduce its boxed reference bit for bit — NaN, signed zeros and
+   infinities included. The reference implementations below are the naive
+   sequential loops, written out in full, so the suite also pins the claim
+   that the 4-wide single-accumulator unrolling in [dot_stride] (and in
+   [Vector.dot_unsafe]) leaves the rounding of the plain loop untouched. *)
+
+open Testutil
+module Vector = Kregret_geom.Vector
+module Flat = Kregret_geom.Flat
+module Dominance = Kregret_skyline.Dominance
+
+let bits = Int64.bits_of_float
+let same_float a b = bits a = bits b
+
+(* naive strictly-left-to-right dot: the rounding reference *)
+let ref_dot u v =
+  let acc = ref 0. in
+  for i = 0 to Array.length u - 1 do
+    acc := !acc +. (u.(i) *. v.(i))
+  done;
+  !acc
+
+(* boxed reference champion fold: init with row 0, replace only when
+   [not (best >= x)] — first row wins exact ties, NaN incumbent replaced *)
+let ref_argmax rows q =
+  let best = ref 0 and bx = ref (ref_dot rows.(0) q) in
+  for i = 1 to Array.length rows - 1 do
+    let x = ref_dot rows.(i) q in
+    if not (!bx >= x) then begin
+      best := i;
+      bx := x
+    end
+  done;
+  (!best, !bx)
+
+let pp_rows rows =
+  String.concat "; "
+    (Array.to_list (Array.map (fun r -> Vector.to_string r) rows))
+
+(* Matrices salted with the adversarial floats. The final row duplicates
+   row 0 whenever n >= 2, so exact argmax ties (first row must win) and
+   Equal dominance verdicts are exercised on every instance. *)
+let qc_gnarly =
+  QCheck.make
+    ~print:(fun (rows, _) -> pp_rows rows)
+    QCheck.Gen.(
+      let special =
+        oneofl [ nan; 0.; -0.; infinity; neg_infinity; 1e300; -1e300 ]
+      in
+      let coord = frequency [ (6, float_range (-2.) 2.); (1, special) ] in
+      let* d = int_range 1 9 in
+      let* n = int_range 1 40 in
+      let* rows = array_size (return n) (array_size (return d) coord) in
+      if n >= 2 then rows.(n - 1) <- Array.copy rows.(0);
+      let* tile = int_range 1 8 in
+      return (rows, tile))
+
+let prop_dot_bitwise (rows, _) =
+  let fp = Flat.of_rows rows in
+  let q = rows.(0) in
+  Array.iteri
+    (fun i r ->
+      let expect = ref_dot r q in
+      if not (same_float (Flat.dot fp i q) expect) then
+        QCheck.Test.fail_reportf "Flat.dot row %d diverges" i;
+      if not (same_float (Vector.dot r q) expect) then
+        QCheck.Test.fail_reportf "Vector.dot row %d diverges" i;
+      if not (same_float (Vector.dot_unsafe r q) expect) then
+        QCheck.Test.fail_reportf "Vector.dot_unsafe row %d diverges" i;
+      if not (same_float (Flat.dot_rows fp i fp 0) expect) then
+        QCheck.Test.fail_reportf "Flat.dot_rows row %d diverges" i)
+    rows;
+  true
+
+let prop_compare_flat (rows, _) =
+  let fp = Flat.of_rows rows in
+  let n = Array.length rows in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if Dominance.compare_flat fp a b <> Dominance.compare rows.(a) rows.(b)
+      then
+        QCheck.Test.fail_reportf "compare_flat (%d, %d) diverges from compare"
+          a b
+    done
+  done;
+  true
+
+let prop_slacks_bitwise (rows, _) =
+  let fp = Flat.of_rows rows in
+  let n = Array.length rows in
+  let normal = rows.(n - 1) and offset = 0.75 in
+  let out = Array.make (n + 3) (-1.) in
+  Flat.slacks fp ~normal ~offset ~out;
+  Array.iteri
+    (fun i r ->
+      if not (same_float out.(i) (ref_dot r normal -. offset)) then
+        QCheck.Test.fail_reportf "slack %d diverges" i)
+    rows;
+  (* slots past the rows stay untouched *)
+  out.(n) = -1. && out.(n + 1) = -1. && out.(n + 2) = -1.
+
+let prop_argmax_bitwise (rows, _) =
+  let fp = Flat.of_rows rows in
+  let q = rows.(Array.length rows - 1) in
+  let er, ev = ref_argmax rows q in
+  let gr, gv = Flat.argmax_dot fp q in
+  if gr <> er || not (same_float gv ev) then
+    QCheck.Test.fail_reportf "argmax_dot (%d, %h) <> reference (%d, %h)" gr gv
+      er ev;
+  true
+
+let prop_for_all_dot_le (rows, _) =
+  let fp = Flat.of_rows rows in
+  let q = rows.(0) in
+  List.for_all
+    (fun bound ->
+      Flat.for_all_dot_le fp q bound
+      = Array.for_all (fun r -> ref_dot r q <= bound) rows)
+    [ neg_infinity; -1.; 0.; 0.5; 2.; infinity; nan ]
+
+(* The blocked kernel must be invisible: for every tile height, every
+   candidate's champion equals the boxed reference fold (and therefore
+   [argmax_dot]), and un-targeted out slots keep their sentinels. *)
+let prop_champions_bitwise (rows, tile) =
+  let vrows = rows in
+  (* candidates: the same matrix reversed, so vertex/candidate shapes differ *)
+  let crows = Array.init (Array.length rows) (fun i ->
+      rows.(Array.length rows - 1 - i))
+  in
+  let vertices = Flat.of_rows vrows and cands = Flat.of_rows crows in
+  let nc = Array.length crows in
+  (* every other candidate is a target *)
+  let targets =
+    Array.of_list (List.filter (fun j -> j mod 2 = 0) (List.init nc Fun.id))
+  in
+  let nt = Array.length targets in
+  let out_row = Array.make nc (-7) and out_val = Array.make nc (-7.) in
+  let tiles =
+    Flat.champions ~tile ~vertices ~cands targets ~tlo:0 ~thi:nt ~out_row
+      ~out_val
+  in
+  let expected_tiles =
+    (Array.length vrows + tile - 1) / tile
+  in
+  if tiles <> expected_tiles then
+    QCheck.Test.fail_reportf "tile count %d <> ceil(%d/%d)" tiles
+      (Array.length vrows) tile;
+  Array.iter
+    (fun j ->
+      let er, ev = ref_argmax vrows crows.(j) in
+      if out_row.(j) <> er || not (same_float out_val.(j) ev) then
+        QCheck.Test.fail_reportf
+          "champion of candidate %d at tile=%d: (%d, %h) <> (%d, %h)" j tile
+          out_row.(j) out_val.(j) er ev)
+    targets;
+  for j = 0 to nc - 1 do
+    if j mod 2 = 1 && (out_row.(j) <> -7 || out_val.(j) <> -7.) then
+      QCheck.Test.fail_reportf "untargeted slot %d was written" j
+  done;
+  true
+
+(* ---- store mechanics: push / swap_remove against a growable model ------- *)
+
+let test_store_model () =
+  let st = test_rng 0xf1a7 in
+  let d = 5 in
+  let fp = Flat.create ~capacity:1 ~dim:d () in
+  let model = ref [] in
+  (* model: list of rows, newest last *)
+  let model_arr () = Array.of_list !model in
+  for _step = 1 to 500 do
+    let n = List.length !model in
+    if n = 0 || Random.State.float st 1. < 0.6 then begin
+      let r = random_point st d in
+      Flat.push_row fp r;
+      model := !model @ [ Array.copy r ]
+    end
+    else begin
+      let i = Random.State.int st n in
+      Flat.swap_remove fp i;
+      let arr = model_arr () in
+      arr.(i) <- arr.(n - 1);
+      model := Array.to_list (Array.sub arr 0 (n - 1))
+    end;
+    let arr = model_arr () in
+    Alcotest.(check int) "row count" (Array.length arr) (Flat.rows fp);
+    Array.iteri
+      (fun i r ->
+        for c = 0 to d - 1 do
+          if not (same_float (Flat.get fp i c) r.(c)) then
+            Alcotest.failf "store diverges from model at (%d, %d)" i c
+        done)
+      arr
+  done;
+  (* round-trips *)
+  let arr = model_arr () in
+  Alcotest.(check bool) "to_rows round-trips" true (Flat.to_rows fp = arr);
+  if Array.length arr > 0 then begin
+    let dst = Array.make d 0. in
+    Flat.blit_row fp 0 dst;
+    Alcotest.(check bool) "blit_row = row" true (Flat.row fp 0 = dst)
+  end;
+  Flat.clear fp;
+  Alcotest.(check int) "clear empties" 0 (Flat.rows fp)
+
+let test_validation () =
+  let fp = Flat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let rejects f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "dim 0 rejected" true
+    (rejects (fun () -> ignore (Flat.create ~dim:0 ())));
+  Alcotest.(check bool) "ragged push rejected" true
+    (rejects (fun () -> Flat.push_row fp [| 1. |]));
+  Alcotest.(check bool) "oob get rejected" true
+    (rejects (fun () -> ignore (Flat.get fp 2 0)));
+  Alcotest.(check bool) "oob swap_remove rejected" true
+    (rejects (fun () -> Flat.swap_remove fp 2));
+  Alcotest.(check bool) "short slacks out rejected" true
+    (rejects (fun () ->
+         Flat.slacks fp ~normal:[| 1.; 1. |] ~offset:0. ~out:[| 0. |]));
+  Alcotest.(check bool) "empty argmax rejected" true
+    (rejects (fun () -> ignore (Flat.argmax_dot (Flat.create ~dim:2 ()) [| 1.; 1. |])));
+  Alcotest.(check bool) "champions bad target rejected" true
+    (rejects (fun () ->
+         ignore
+           (Flat.champions ~vertices:fp ~cands:fp [| 5 |] ~tlo:0 ~thi:1
+              ~out_row:(Array.make 2 0) ~out_val:(Array.make 2 0.))))
+
+let suite =
+  [
+    qcheck_case ~count:200 "Flat/Vector dots match the naive loop bitwise"
+      qc_gnarly prop_dot_bitwise;
+    qcheck_case ~count:200 "compare_flat = Dominance.compare" qc_gnarly
+      prop_compare_flat;
+    qcheck_case ~count:200 "slacks = per-row dot - offset bitwise" qc_gnarly
+      prop_slacks_bitwise;
+    qcheck_case ~count:200 "argmax_dot = reference fold (ties, NaN)" qc_gnarly
+      prop_argmax_bitwise;
+    qcheck_case ~count:200 "for_all_dot_le = boxed conjunction" qc_gnarly
+      prop_for_all_dot_le;
+    qcheck_case ~count:200 "blocked champions = reference fold at any tile"
+      qc_gnarly prop_champions_bitwise;
+    Alcotest.test_case "push/swap_remove track a model" `Quick
+      test_store_model;
+    Alcotest.test_case "argument validation" `Quick test_validation;
+  ]

@@ -211,6 +211,68 @@ let prop_sampled_mrr_deterministic inst =
     (fun m -> Printf.sprintf "%.17g" m)
     inst
 
+(* ---- adaptive chunk granularity (ISSUE 6) -------------------------------- *)
+
+let test_chunk_plan () =
+  (* explicit chunk_size passes through verbatim *)
+  Alcotest.(check int) "explicit verbatim" 7
+    (Pool.chunk_plan ~chunk_size:7 ~n:1000 ());
+  (* tiny total work inlines as a single chunk *)
+  Alcotest.(check int) "small region inlines" 10
+    (Pool.chunk_plan ~n:10 ());
+  Alcotest.(check int) "cheap items inline" 40_000
+    (Pool.chunk_plan ~cost:1. ~n:40_000 ());
+  (* expensive items split fine, but never below ceil(n / 64) per chunk *)
+  Alcotest.(check int) "expensive items floor at the 64-chunk cap" 16
+    (Pool.chunk_plan ~cost:1e6 ~n:1000 ());
+  (* the 64-chunk cap bounds the chunk count on big cheap ranges *)
+  let n = 1_000_000 in
+  let c = Pool.chunk_plan ~cost:2. ~n () in
+  let chunks = (n + c - 1) / c in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most 64 chunks (got %d)" chunks)
+    true (chunks <= 64);
+  (* degenerate hints are clamped, not fatal *)
+  Alcotest.(check bool) "nan cost tolerated" true
+    (Pool.chunk_plan ~cost:nan ~n:100 () >= 1);
+  Alcotest.(check bool) "negative cost tolerated" true
+    (Pool.chunk_plan ~cost:(-5.) ~n:100 () >= 1);
+  let rejects f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "n = 0 rejected" true
+    (rejects (fun () -> Pool.chunk_plan ~n:0 ()));
+  Alcotest.(check bool) "chunk_size = 0 rejected" true
+    (rejects (fun () -> Pool.chunk_plan ~chunk_size:0 ~n:10 ()))
+
+(* the plan — and with it any non-associative fold — must not move when the
+   pool width does, whatever cost hint the caller supplies *)
+let qc_cost_instance =
+  QCheck.make
+    ~print:(fun (n, cost) -> Printf.sprintf "n=%d cost=%g" n cost)
+    QCheck.Gen.(
+      let* n = int_range 1 5_000 in
+      let* cost = float_range 0.5 1e6 in
+      return (n, cost))
+
+let prop_map_reduce_cost_invariant (n, cost) =
+  let compute () =
+    Pool.map_reduce ~cost ~lo:0 ~hi:n
+      ~map:(fun a b -> Printf.sprintf "[%d,%d)" a b)
+      ~reduce:( ^ ) ""
+  in
+  let results =
+    List.map (fun j -> (j, with_jobs j compute)) jobs_under_test
+  in
+  match results with
+  | [] -> true
+  | (j0, r0) :: rest ->
+      List.for_all
+        (fun (j, r) ->
+          r = r0
+          || QCheck.Test.fail_reportf
+               "chunking at jobs=%d and jobs=%d disagree (n=%d cost=%g)" j0 j
+               n cost)
+        rest
+
 (* ---- Dd.create guard (satellite) ----------------------------------------- *)
 
 let test_dd_dim_guard () =
@@ -247,6 +309,9 @@ let suite =
     Alcotest.test_case "use after shutdown is rejected" `Quick
       test_shutdown_rejects_use;
     Alcotest.test_case "Dd.create refuses dim > 16" `Quick test_dd_dim_guard;
+    Alcotest.test_case "chunk_plan granularity model" `Quick test_chunk_plan;
+    qcheck_case ~count:40 "chunk boundaries ignore the pool width"
+      qc_cost_instance prop_map_reduce_cost_invariant;
     qcheck_case ~count:12 "skyline identical across jobs 1/2/4" qc_instance
       prop_skyline_deterministic;
     qcheck_case ~count:12 "happy set identical across jobs 1/2/4" qc_instance
