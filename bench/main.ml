@@ -18,7 +18,7 @@
    Bench_util.emit_json.
 
    Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
-   scal ablation micro kernel. *)
+   scal ablation micro kernel update. *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -38,6 +38,7 @@ let sections : (string * (unit -> unit)) list =
     ("substrate", Exp_substrate.run);
     ("micro", Exp_micro.run);
     ("kernel", Exp_kernel.run);
+    ("update", Exp_update.run);
   ]
 
 let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
@@ -95,7 +96,9 @@ let () =
     Bench_util.real_scale := 2_000;
     Exp_synth.base_n := 2_000;
     Exp_scal.scal_n := 10_000;
-    Exp_scal.scal_k := 50
+    Exp_scal.scal_k := 50;
+    Exp_update.update_n := 2_000;
+    Exp_update.update_ops := 500
   end;
   if smoke then begin
     (* tiny scales: every section in seconds, for CI on jobs=1 and jobs=2 *)
@@ -104,7 +107,9 @@ let () =
     Exp_scal.scal_n := 2_000;
     Exp_scal.scal_k := 20;
     Exp_kernel.kernel_n := 2_000;
-    Exp_kernel.kernel_k := 20
+    Exp_kernel.kernel_k := 20;
+    Exp_update.update_n := 500;
+    Exp_update.update_ops := 120
   end;
   let wanted =
     match args with

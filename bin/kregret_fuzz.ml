@@ -47,8 +47,8 @@ let with_obs (metrics, stats) f =
       if stats then Obs.Export.pp_table Format.err_formatter ())
     f
 
-let run replay instances seed corpus no_persist samples jobs_hi shrink_attempts
-    quiet obs =
+let run replay instances seed corpus no_persist samples jobs_hi suite
+    shrink_attempts quiet obs =
   with_obs obs @@ fun () ->
   if replay then replay_corpus corpus
   else begin
@@ -60,7 +60,7 @@ let run replay instances seed corpus no_persist samples jobs_hi shrink_attempts
     {
       Fuzzer.instances;
       seed;
-      oracle = { Oracle.samples; jobs_hi };
+      oracle = { Oracle.samples; jobs_hi; suite };
       shrink_attempts;
       corpus_dir = (if no_persist then None else Some corpus);
       log = (if quiet then None else Some prerr_endline);
@@ -125,6 +125,17 @@ let jobs_arg =
            is run at width 1 and at width JOBS; results must be \
            bit-identical). 1 disables the comparison.")
 
+let check_arg =
+  Arg.(
+    value
+    & opt (enum [ ("all", Oracle.All); ("dynamic", Oracle.Dynamic_only) ]) Oracle.All
+    & info [ "check" ] ~docv:"SUITE"
+        ~doc:
+          "Which oracle suite to run per instance: $(b,all) (every \
+           differential check, including the dynamic-maintenance oracle) or \
+           $(b,dynamic) (only the fuzzed insert/delete/query interleavings \
+           against the rebuild-from-scratch pipeline).")
+
 let metrics_arg =
   Arg.(
     value
@@ -183,7 +194,7 @@ let cmd =
     (Cmd.info "kregret_fuzz" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ replay_arg $ instances_arg $ seed_arg $ corpus_arg
-      $ no_persist_arg $ samples_arg $ jobs_arg $ shrink_arg $ quiet_arg
-      $ obs_term)
+      $ no_persist_arg $ samples_arg $ jobs_arg $ check_arg $ shrink_arg
+      $ quiet_arg $ obs_term)
 
 let () = exit (Cmd.eval' cmd)

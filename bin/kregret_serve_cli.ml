@@ -50,6 +50,39 @@ let frame_of_command = function
             ("path", Serve.Json.Str path);
           ])
   | [ "wait"; name ] -> Ok (`Wait name)
+  | [ "flush"; name ] ->
+      Ok
+        (`Send [ ("op", Serve.Json.Str "flush"); ("name", Serve.Json.Str name) ])
+  | [ "insert"; name; point ] -> (
+      let coords =
+        String.split_on_char ',' point
+        |> List.map (fun c -> float_of_string_opt (String.trim c))
+      in
+      if List.exists (fun c -> c = None) coords || coords = [] then
+        Error
+          (Printf.sprintf
+             "insert: POINT must be comma-separated floats, got %S" point)
+      else
+        Ok
+          (`Send
+            [
+              ("op", Serve.Json.Str "insert");
+              ("name", Serve.Json.Str name);
+              ( "point",
+                Serve.Json.Arr
+                  (List.map (fun c -> Serve.Json.Num (Option.get c)) coords) );
+            ]))
+  | [ "delete"; name; id ] -> (
+      match int_of_string_opt id with
+      | Some id ->
+          Ok
+            (`Send
+              [
+                ("op", Serve.Json.Str "delete");
+                ("name", Serve.Json.Str name);
+                ("id", Serve.Json.int id);
+              ])
+      | None -> Error (Printf.sprintf "delete: ID must be an integer, got %S" id))
   | [ op; name; k ] when op = "query" || op = "mrr" -> (
       match int_of_string_opt k with
       | Some k ->
@@ -65,8 +98,9 @@ let frame_of_command = function
       Error
         (Printf.sprintf
            "unknown command %S (expected: ping | list | stats | shutdown | \
-            evict [NAME] | load NAME PATH | query NAME K | mrr NAME K | wait \
-            NAME, or a raw JSON frame)"
+            evict [NAME] | load NAME PATH | query NAME K | mrr NAME K | \
+            insert NAME P1,P2,.. | delete NAME ID | flush NAME | wait NAME, \
+            or a raw JSON frame)"
            (String.concat " " cmd))
 
 (* Group the positional words into commands: a word starting with '{' is a
@@ -79,9 +113,9 @@ let rec group_commands = function
       let arity =
         match verb with
         | "ping" | "list" | "stats" | "shutdown" -> Ok 0
-        | "wait" -> Ok 1
+        | "wait" | "flush" -> Ok 1
         | "query" | "mrr" -> Ok 2
-        | "load" -> Ok 2
+        | "load" | "insert" | "delete" -> Ok 2
         | "evict" ->
             (* greedy 1-arg unless the next word is a verb or raw frame *)
             Ok
@@ -92,7 +126,8 @@ let rec group_commands = function
                           (List.mem next
                              [
                                "ping"; "list"; "stats"; "shutdown"; "evict";
-                               "load"; "query"; "mrr"; "wait";
+                               "load"; "query"; "mrr"; "insert"; "delete";
+                               "flush"; "wait";
                              ]) ->
                   1
               | _ -> 0)
@@ -343,7 +378,8 @@ let commands_arg =
         ~doc:
           "Client-mode commands: $(b,ping), $(b,list), $(b,stats), \
            $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH, $(b,query) \
-           NAME K, $(b,mrr) NAME K, $(b,wait) NAME, or a raw JSON frame \
+           NAME K, $(b,mrr) NAME K, $(b,insert) NAME P1,P2,.., $(b,delete) \
+           NAME ID, $(b,flush) NAME, $(b,wait) NAME, or a raw JSON frame \
            (anything starting with '{').")
 
 let cmd =
@@ -357,8 +393,11 @@ let cmd =
          the background, then answers every $(i,query)/$(i,mrr) request as \
          an O(k) StoredList prefix read — with an LRU result cache and \
          single-flight coalescing of concurrent identical queries on top. \
-         The wire protocol is one JSON object per line over a Unix-domain \
-         socket (kregret-serve/v1).";
+         Loaded datasets are dynamic: $(i,insert)/$(i,delete)/$(i,flush) \
+         requests apply incremental maintenance (lib/core/dynamic.mli) on \
+         the server's build worker, and queries key on the dataset epoch so \
+         stale cached answers age out on their own. The wire protocol is one \
+         JSON object per line over a Unix-domain socket (kregret-serve/v1).";
       `S Manpage.s_examples;
       `Pre
         "  kregret_serve --socket /tmp/kr.sock --preload nba=nba.csv &\n\

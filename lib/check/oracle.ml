@@ -11,9 +11,11 @@ module Optimal2d = Kregret.Optimal2d
 module Mrr = Kregret.Mrr
 module Invariants = Kregret.Invariants
 
-type config = { samples : int; jobs_hi : int }
+type suite = All | Dynamic_only
 
-let default = { samples = 512; jobs_hi = 2 }
+type config = { samples : int; jobs_hi : int; suite : suite }
+
+let default = { samples = 512; jobs_hi = 2; suite = All }
 
 type failure = { check : string; message : string }
 
@@ -34,6 +36,7 @@ let check_names =
     "jobs-invariance";
     "serve";
     "serve-protocol";
+    "dynamic";
     "exception";
   ]
 
@@ -230,6 +233,17 @@ let check_inner cfg inst =
     (with_jobs 1 (fun () -> Serve_oracle.check inst));
   !failures
 
+(* the dynamic oracle manages its own pool widths — not wrapped *)
+let check_dynamic cfg inst =
+  List.map
+    (fun (check, message) -> { check; message })
+    (Dynamic_oracle.check ~jobs_hi:cfg.jobs_hi inst)
+
+let check_suite cfg inst =
+  match cfg.suite with
+  | Dynamic_only -> check_dynamic cfg inst
+  | All -> check_inner cfg inst @ check_dynamic cfg inst
+
 module Obs = Kregret_obs
 
 let c_checks =
@@ -243,7 +257,7 @@ let check ?(config = default) inst =
   Obs.Counter.incr c_checks;
   let failures =
     Obs.Span.with_ "oracle.check" (fun () ->
-        try check_inner config inst
+        try check_suite config inst
         with e ->
           [
             {

@@ -27,14 +27,23 @@
       the instance answers every wire request bit-identically to the
       offline StoredList, and survives malformed frames with structured
       errors (see {!Serve_oracle});
+    - [dynamic] — a fuzzed insert/delete/query/mrr/flush interleaving on
+      {!Kregret.Dynamic} answers bit-identically to rebuilding the static
+      pipeline from scratch after every mutation, at pool widths
+      [{1, 2, 4, jobs_hi}] (see {!Dynamic_oracle});
     - [exception] — no component raised.
 
     All tie comparisons go through {!Tolerance.tie}. *)
+
+(** Which checks to run: the full battery, or only the dynamic-maintenance
+    oracle (the [--check dynamic] fast path of [kregret_fuzz]). *)
+type suite = All | Dynamic_only
 
 type config = {
   samples : int;  (** Monte-Carlo budget for the sampled-bound check *)
   jobs_hi : int;
       (** second pool width for [jobs-invariance]; [<= 1] disables it *)
+  suite : suite;
 }
 
 val default : config

@@ -16,7 +16,10 @@ type expected = {
 }
 
 let expected_of_points points =
-  let sky_idx = Skyline.sfs points in
+  (* [naive], not [sfs]: they keep different representatives of duplicated
+     maximal points, and the Dynamic-backed registry maintains the naive
+     (first-by-input-order) rule — see [Dynamic.full_rebuild] *)
+  let sky_idx = Skyline.naive points in
   let sky = Array.map (fun i -> points.(i)) sky_idx in
   let happy_idx = Happy.happy_points sky in
   let happy = Array.map (fun i -> sky.(i)) happy_idx in
@@ -34,7 +37,7 @@ let known_error_codes =
   [
     "parse_error"; "bad_request"; "missing_field"; "bad_field"; "unknown_op";
     "frame_too_large"; "not_found"; "building"; "build_failed"; "load_failed";
-    "stale_dataset"; "internal";
+    "stale_dataset"; "bad_point"; "internal";
   ]
 
 (* a handful of deterministic malformed frames; the server must answer each

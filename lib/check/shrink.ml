@@ -107,6 +107,53 @@ let shrink ?(max_attempts = 400) ~fails inst =
    malformed frames surfaced by the serve oracle ("which part of this 200-
    byte line actually trips the parser?"). Deterministic. *)
 
+(* ---- update traces --------------------------------------------------------
+
+   ddmin over a generic op list: delete contiguous blocks, halving the
+   block size, while the predicate keeps failing. Used by the dynamic
+   oracle to minimize failing insert/delete/query interleavings — the ops
+   are self-contained data, so any sub-trace replays deterministically. *)
+
+let trace ?(max_attempts = 400) ~fails ops =
+  let attempts = ref 0 in
+  let try_ cand =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      fails cand
+    end
+  in
+  if not (try_ ops) then ops
+  else begin
+    let current = ref (Array.of_list ops) in
+    let progress = ref true in
+    while !progress && !attempts < max_attempts do
+      progress := false;
+      let chunk = ref (max 1 (Array.length !current / 2)) in
+      while !chunk >= 1 && !attempts < max_attempts do
+        let off = ref 0 in
+        while
+          !off + !chunk <= Array.length !current && !attempts < max_attempts
+        do
+          let cur = !current in
+          let n = Array.length cur in
+          let cand =
+            Array.init (n - !chunk) (fun i ->
+                if i < !off then cur.(i) else cur.(i + !chunk))
+          in
+          if Array.length cand < n && try_ (Array.to_list cand) then begin
+            current := cand;
+            progress := true
+            (* keep [off]: it now names the ops after the deletion *)
+          end
+          else off := !off + !chunk
+        done;
+        chunk := !chunk / 2
+      done
+    done;
+    Array.to_list !current
+  end
+
 let frame ?(max_attempts = 400) ~fails s =
   let attempts = ref 0 in
   let try_ cand =

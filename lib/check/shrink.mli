@@ -22,6 +22,14 @@ type result = {
 val shrink :
   ?max_attempts:int -> fails:(Instance.t -> bool) -> Instance.t -> result
 
+(** [trace ~fails ops] minimizes an operation list with ddmin: delete
+    contiguous blocks of ops, halving the block size, while [fails] stays
+    [true]. Returns [ops] unchanged when [fails ops] is [false].
+    Deterministic; [max_attempts] bounds predicate evaluations (default
+    400). Used to minimize failing update interleavings surfaced by the
+    dynamic oracle. *)
+val trace : ?max_attempts:int -> fails:('a list -> bool) -> 'a list -> 'a list
+
 (** [frame ~fails s] minimizes a wire frame (an arbitrary byte string) with
     ddmin: delete contiguous chunks, halving the chunk size, while [fails]
     stays [true]. Returns [s] unchanged when [fails s] is [false].

@@ -1,0 +1,660 @@
+module Vector = Kregret_geom.Vector
+module Skyline = Kregret_skyline.Skyline
+module Dominance = Kregret_skyline.Dominance
+module Happy = Kregret_happy.Happy
+module Obs = Kregret_obs
+
+(* Observability. The counters are exact across pool widths (the update
+   paths are sequential; the rebuild pipeline underneath is width-invariant
+   by the repo-wide determinism contract). The gauge reports the last
+   updated dataset — a fleet snapshot, not a per-dataset series. *)
+let c_inserts =
+  Obs.Registry.counter "dynamic.inserts" ~help:"inserts that changed the skyline"
+
+let c_insert_noops =
+  Obs.Registry.counter "dynamic.insert_noops"
+    ~help:"inserts of dominated or duplicated points (structures untouched)"
+
+let c_deletes =
+  Obs.Registry.counter "dynamic.deletes" ~help:"deletes of live points"
+
+let c_delete_noops =
+  Obs.Registry.counter "dynamic.delete_noops"
+    ~help:"deletes of unknown or already-deleted ids"
+
+let c_sky_entrants =
+  Obs.Registry.counter "dynamic.sky_entrants"
+    ~help:"points re-entering the skyline after a skyline delete"
+
+let c_sky_evictions =
+  Obs.Registry.counter "dynamic.sky_evictions"
+    ~help:"skyline points evicted by a dominating insert"
+
+let c_rescreens =
+  Obs.Registry.counter "dynamic.happy_rescreens"
+    ~help:"full happy re-screens of a single skyline point"
+
+let c_stored_reuse =
+  Obs.Registry.counter "dynamic.stored_reuse"
+    ~help:"skyline changes that left the happy set, and hence the stored list, intact"
+
+let c_memo_hits =
+  Obs.Registry.counter "dynamic.stored_memo_hits"
+    ~help:"stored lists restored bit-identically from the round-trip memo"
+
+let c_stored_rebuilds =
+  Obs.Registry.counter "dynamic.stored_rebuilds"
+    ~help:"stored-list preprocessing passes triggered by updates"
+
+let c_full_invalidations =
+  Obs.Registry.counter "dynamic.stored_full_invalidations"
+    ~help:"stored rebuilds whose order diverged from the old list at position 0"
+
+let c_flushes =
+  Obs.Registry.counter "dynamic.flushes" ~help:"tombstone compactions"
+
+let h_repair_depth =
+  Obs.Registry.histogram "dynamic.repair_depth"
+    ~help:
+      "stored-list entries re-derived per structural update (distance from \
+       the first invalidated position to the end of the list)"
+    ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 1024. |]
+
+let g_tombstone_ratio =
+  Obs.Registry.gauge "dynamic.tombstone_ratio"
+    ~help:"tombstoned fraction of the slot store (last updated dataset)"
+
+(* verdict of a skyline member under the happy screen; the witness is the
+   slot position of one subjugator (-1 = not yet determined: the initial
+   batch screen reports flags only, witnesses are filled in lazily by the
+   first repair that needs them) *)
+type verdict = V_happy | V_unhappy of int
+
+type t = {
+  eps : float option;
+  max_length : int option;
+  damage_ratio : float;
+  memo_cap : int;
+  dim : int;
+  (* slot store, in insertion order; deletions tombstone ([alive] flips),
+     [flush] compacts. Slot positions are internal — external ids are
+     stable across compaction. *)
+  mutable data : Vector.t array;
+  mutable ids : int array;
+  mutable alive : bool array;
+  mutable used : int;
+  mutable live : int;
+  mutable next_id : int;
+  id_index : (int, int) Hashtbl.t; (* external id -> slot position *)
+  (* derived pipeline state; [sky] and [happy] hold slot positions in
+     ascending order (= dataset order), [verdicts] is keyed by the members
+     of [sky], [happy_vecs] is the stored list's candidate array *)
+  mutable sky : int array;
+  verdicts : (int, verdict) Hashtbl.t;
+  mutable happy : int array;
+  mutable happy_vecs : Vector.t array;
+  mutable stored : Stored_list.t option;
+  (* most-recently-used memo of (happy candidate array, stored list) pairs:
+     an update stream that oscillates (insert then delete, or the reverse)
+     lands back on a bit-identical happy array and skips the preprocessing
+     pass; hits are verified by full bit comparison, never by hash *)
+  mutable memo : (Vector.t array * Stored_list.t) list;
+  mutable epoch : int;
+}
+
+(* ---- small helpers ------------------------------------------------------- *)
+
+let vec_bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then ok := false)
+    a;
+  !ok
+
+let vecs_bits_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if not (vec_bits_equal v b.(i)) then ok := false) a;
+  !ok
+
+let common_prefix a b =
+  let n = min (Array.length a) (Array.length b) in
+  let i = ref 0 in
+  while !i < n && a.(!i) = b.(!i) do
+    incr i
+  done;
+  !i
+
+let dim t = t.dim
+let live t = t.live
+let slots t = t.used
+let tombstones t = t.used - t.live
+let epoch t = t.epoch
+let sky_size t = Array.length t.sky
+let happy_size t = Array.length t.happy
+
+let stored_length t =
+  match t.stored with None -> 0 | Some s -> Stored_list.length s
+
+(* external ids of the stored-list entries, in list order *)
+let order_ids t =
+  match t.stored with
+  | None -> [||]
+  | Some s ->
+      Array.of_list
+        (List.map (fun e -> t.ids.(t.happy.(e))) (Stored_list.order s))
+
+let live_points t =
+  let out = ref [] in
+  for p = t.used - 1 downto 0 do
+    if t.alive.(p) then out := (t.ids.(p), t.data.(p)) :: !out
+  done;
+  Array.of_list !out
+
+(* ---- queries ------------------------------------------------------------- *)
+
+let query t ~k =
+  if k < 1 then invalid_arg "Dynamic.query: k must be positive";
+  match t.stored with
+  | None -> ([], 0.)
+  | Some s ->
+      let sel =
+        List.map (fun e -> t.ids.(t.happy.(e))) (Stored_list.query s ~k)
+      in
+      (sel, Stored_list.mrr_at s ~k)
+
+let mrr_at t ~k =
+  if k < 1 then invalid_arg "Dynamic.mrr_at: k must be positive";
+  match t.stored with None -> 0. | Some s -> Stored_list.mrr_at s ~k
+
+(* ---- snapshots ----------------------------------------------------------- *)
+
+module Snapshot = struct
+  type t = {
+    sn_epoch : int;
+    sn_live : int;
+    sn_ids : int array; (* stored order, as external ids *)
+    sn_mrr : float array; (* mrr of each prefix *)
+  }
+
+  let epoch s = s.sn_epoch
+  let live s = s.sn_live
+  let stored_length s = Array.length s.sn_ids
+
+  let query s ~k =
+    if k < 1 then invalid_arg "Dynamic.Snapshot.query: k must be positive";
+    let len = Array.length s.sn_ids in
+    if len = 0 then ([], 0.)
+    else
+      let take = min k len in
+      (Array.to_list (Array.sub s.sn_ids 0 take), s.sn_mrr.(take - 1))
+
+  let mrr_at s ~k =
+    if k < 1 then invalid_arg "Dynamic.Snapshot.mrr_at: k must be positive";
+    let len = Array.length s.sn_ids in
+    if len = 0 then 0. else s.sn_mrr.(min k len - 1)
+end
+
+let snapshot t =
+  let ids = order_ids t in
+  let mrr =
+    match t.stored with
+    | None -> [||]
+    | Some s -> Array.init (Stored_list.length s) (fun i -> Stored_list.mrr_at s ~k:(i + 1))
+  in
+  { Snapshot.sn_epoch = t.epoch; sn_live = t.live; sn_ids = ids; sn_mrr = mrr }
+
+(* ---- stored-list maintenance --------------------------------------------- *)
+
+let memo_find t vecs =
+  let rec go acc = function
+    | [] -> None
+    | ((v, s) as hit) :: rest ->
+        if vecs_bits_equal v vecs then begin
+          (* move to front *)
+          t.memo <- hit :: List.rev_append acc rest;
+          Some s
+        end
+        else go (hit :: acc) rest
+  in
+  go [] t.memo
+
+let memo_push t vecs stored =
+  match stored with
+  | None -> ()
+  | Some s ->
+      let keep = t.memo_cap - 1 in
+      t.memo <-
+        (vecs, s) :: List.filteri (fun i _ -> i < keep) t.memo
+
+(* Recompute the happy set from the verdicts and bring the stored list back
+   in sync. Exactness note: a fresh [Stored_list.preprocess] is the only way
+   to reproduce the rebuild pipeline bit-for-bit — GeoGreedy's champion
+   cache is event-driven, and a replayed prefix continued after a full
+   rescan can differ from the fresh run by one ulp in the plateau entries
+   (the rescan sees the true vertex maximum where the event path saw the
+   maximum over replacement faces only). So the reuse tiers here trigger
+   only on bit-equal candidate arrays — the unchanged-happy fast path and
+   the round-trip memo — and every other structural change pays one
+   preprocessing pass over the happy set, with the first invalidated
+   position recorded in the repair-depth histogram. *)
+let refresh_after_sky_change t =
+  let old_ids = order_ids t in
+  let old_vecs = t.happy_vecs in
+  let old_stored = t.stored in
+  let hap =
+    Array.of_list
+      (List.filter
+         (fun p -> Hashtbl.find t.verdicts p = V_happy)
+         (Array.to_list t.sky))
+  in
+  t.happy <- hap;
+  let vecs = Array.map (fun p -> t.data.(p)) hap in
+  if vecs_bits_equal old_vecs vecs then begin
+    (* the happy candidate array is unchanged bit-for-bit: the stored list
+       (which only indexes into it) is still exact *)
+    Obs.Counter.incr c_stored_reuse;
+    Obs.Histogram.observe h_repair_depth 0.;
+    t.happy_vecs <- vecs
+  end
+  else begin
+    (match memo_find t vecs with
+    | Some s ->
+        memo_push t old_vecs old_stored;
+        t.stored <- Some s;
+        Obs.Counter.incr c_memo_hits
+    | None ->
+        memo_push t old_vecs old_stored;
+        t.stored <-
+          (if Array.length vecs = 0 then None
+           else Some (Stored_list.preprocess ?eps:t.eps ?max_length:t.max_length vecs));
+        Obs.Counter.incr c_stored_rebuilds);
+    t.happy_vecs <- vecs;
+    let new_ids = order_ids t in
+    let depth = Array.length new_ids - common_prefix old_ids new_ids in
+    Obs.Histogram.observe h_repair_depth (float_of_int depth);
+    if
+      common_prefix old_ids new_ids = 0
+      && Array.length old_ids > 0
+      && Array.length new_ids > 0
+    then Obs.Counter.incr c_full_invalidations
+  end;
+  t.epoch <- t.epoch + 1
+
+(* ---- happy re-screens ---------------------------------------------------- *)
+
+(* full screen of one skyline member against the current skyline; verdicts
+   are order-independent (a point is unhappy iff someone subjugates it), so
+   probing in ascending position order is just a deterministic choice of
+   witness. [subjugates] never counts a value-equal point, and the skyline
+   holds no value-equal pairs, so self-probes are harmless. *)
+let rescreen t pos =
+  Obs.Counter.incr c_rescreens;
+  let v = t.data.(pos) in
+  let verdict = ref V_happy in
+  let i = ref 0 in
+  let m = Array.length t.sky in
+  while !verdict = V_happy && !i < m do
+    let s = t.sky.(!i) in
+    if s <> pos && Happy.subjugates ?eps:t.eps t.data.(s) v then
+      verdict := V_unhappy s;
+    incr i
+  done;
+  Hashtbl.replace t.verdicts pos !verdict
+
+(* ---- construction -------------------------------------------------------- *)
+
+let full_rebuild t =
+  (* skyline -> happy screen -> stored-list preprocessing. The skyline runs
+     [naive], not [sfs]: both return ascending indices over the same value
+     set, but they keep different representatives of a duplicated maximal
+     point (first by input order vs first by score-sort order), and the
+     incremental rules below maintain exactly the input-order rule — an
+     equal pair is won by the smaller slot. One rule everywhere keeps the
+     id-level answers of the create path and the update path identical. *)
+  Hashtbl.reset t.verdicts;
+  if t.live = 0 then begin
+    t.sky <- [||];
+    t.happy <- [||];
+    t.happy_vecs <- [||];
+    t.stored <- None
+  end
+  else begin
+    let positions = Array.make t.live 0 in
+    let vecs = Array.make t.live [||] in
+    let j = ref 0 in
+    for p = 0 to t.used - 1 do
+      if t.alive.(p) then begin
+        positions.(!j) <- p;
+        vecs.(!j) <- t.data.(p);
+        incr j
+      end
+    done;
+    let sky_idx = Skyline.naive vecs in
+    t.sky <- Array.map (fun i -> positions.(i)) sky_idx;
+    let sky_vecs = Array.map (fun i -> vecs.(i)) sky_idx in
+    let hap_idx = Happy.happy_points ?eps:t.eps sky_vecs in
+    let happy_mark = Array.make (Array.length t.sky) false in
+    Array.iter (fun i -> happy_mark.(i) <- true) hap_idx;
+    Array.iteri
+      (fun i p ->
+        Hashtbl.replace t.verdicts p
+          (if happy_mark.(i) then V_happy else V_unhappy (-1)))
+      t.sky;
+    t.happy <- Array.map (fun i -> t.sky.(i)) hap_idx;
+    t.happy_vecs <- Array.map (fun p -> t.data.(p)) t.happy;
+    (* the happy screen can empty a nonempty skyline: when every live point
+       lies strictly inside the unit simplex (sum < 1), each sky member
+       subjugates the others under the eps slop. Impossible for a freshly
+       normalized dataset (per-dimension maxima have sum >= 1), reachable
+       dynamically once deletes remove every boundary point. Nothing to
+       materialize then — answers are empty until an insert restores a
+       boundary point. *)
+    t.stored <-
+      (if Array.length t.happy_vecs = 0 then None
+       else
+         Some (Stored_list.preprocess ?eps:t.eps ?max_length:t.max_length t.happy_vecs))
+  end
+
+let create ?eps ?max_length ?(damage_ratio = 0.5) ?(memo = 8) points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Dynamic.create: empty dataset";
+  let d = Vector.dim points.(0) in
+  Array.iter
+    (fun p ->
+      if Vector.dim p <> d then
+        invalid_arg "Dynamic.create: inconsistent dimensions")
+    points;
+  if damage_ratio <= 0. || damage_ratio >= 1. then
+    invalid_arg "Dynamic.create: damage_ratio must be in (0, 1)";
+  let cap = max 16 (2 * n) in
+  let t =
+    {
+      eps;
+      max_length;
+      damage_ratio;
+      memo_cap = max 1 memo;
+      dim = d;
+      data = Array.make cap [||];
+      ids = Array.make cap 0;
+      alive = Array.make cap false;
+      used = n;
+      live = n;
+      next_id = n;
+      id_index = Hashtbl.create (2 * cap);
+      sky = [||];
+      verdicts = Hashtbl.create 64;
+      happy = [||];
+      happy_vecs = [||];
+      stored = None;
+      memo = [];
+      epoch = 0;
+    }
+  in
+  Array.iteri
+    (fun i p ->
+      t.data.(i) <- p;
+      t.ids.(i) <- i;
+      t.alive.(i) <- true;
+      Hashtbl.replace t.id_index i i)
+    points;
+  full_rebuild t;
+  t
+
+(* ---- compaction ---------------------------------------------------------- *)
+
+let compact t =
+  if t.used > t.live then begin
+    let remap = Array.make t.used (-1) in
+    let data = Array.make (max 16 (2 * t.live)) [||] in
+    let ids = Array.make (Array.length data) 0 in
+    let alive = Array.make (Array.length data) false in
+    let j = ref 0 in
+    for p = 0 to t.used - 1 do
+      if t.alive.(p) then begin
+        remap.(p) <- !j;
+        data.(!j) <- t.data.(p);
+        ids.(!j) <- t.ids.(p);
+        alive.(!j) <- true;
+        incr j
+      end
+    done;
+    t.data <- data;
+    t.ids <- ids;
+    t.alive <- alive;
+    t.used <- t.live;
+    Hashtbl.reset t.id_index;
+    for p = 0 to t.used - 1 do
+      Hashtbl.replace t.id_index t.ids.(p) p
+    done;
+    t.sky <- Array.map (fun p -> remap.(p)) t.sky;
+    t.happy <- Array.map (fun p -> remap.(p)) t.happy;
+    let old_verdicts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.verdicts [] in
+    Hashtbl.reset t.verdicts;
+    List.iter
+      (fun (p, v) ->
+        let v =
+          match v with
+          | V_happy -> V_happy
+          | V_unhappy w -> V_unhappy (if w >= 0 then remap.(w) else w)
+        in
+        Hashtbl.replace t.verdicts remap.(p) v)
+      old_verdicts;
+    (* positions changed but the live sequence — and hence every answer —
+       did not: the happy candidate array and the stored list carry over,
+       and the epoch stays put *)
+    Obs.Counter.incr c_flushes
+  end
+
+let flush t =
+  let reclaimed = t.used - t.live in
+  compact t;
+  Obs.Gauge.set g_tombstone_ratio 0.;
+  reclaimed
+
+let maybe_flush t =
+  let tombs = t.used - t.live in
+  Obs.Gauge.set g_tombstone_ratio
+    (if t.used = 0 then 0. else float_of_int tombs /. float_of_int t.used);
+  if t.used >= 64 && float_of_int tombs > t.damage_ratio *. float_of_int t.used
+  then ignore (flush t)
+
+(* ---- updates ------------------------------------------------------------- *)
+
+let grow t =
+  if t.used = Array.length t.data then begin
+    let cap = 2 * Array.length t.data in
+    let data = Array.make cap [||] in
+    let ids = Array.make cap 0 in
+    let alive = Array.make cap false in
+    Array.blit t.data 0 data 0 t.used;
+    Array.blit t.ids 0 ids 0 t.used;
+    Array.blit t.alive 0 alive 0 t.used;
+    t.data <- data;
+    t.ids <- ids;
+    t.alive <- alive
+  end
+
+let insert t vec =
+  if Array.length vec <> t.dim then
+    invalid_arg "Dynamic.insert: wrong dimension";
+  Array.iter
+    (fun x ->
+      if not (Float.is_finite x) || x <= 0. || x > 1. then
+        invalid_arg "Dynamic.insert: coordinates must lie in (0, 1]")
+    vec;
+  grow t;
+  let pos = t.used in
+  let id = t.next_id in
+  t.data.(pos) <- vec;
+  t.ids.(pos) <- id;
+  t.alive.(pos) <- true;
+  t.used <- t.used + 1;
+  t.live <- t.live + 1;
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.id_index id pos;
+  (* classify against the skyline: if some member dominates or equals the
+     new point it cannot enter (the member is earlier, so even an exact
+     duplicate stays out — the skyline keeps the first of an equal pair),
+     and nothing else changes: dominance by any live point is always
+     witnessed by a skyline member. Otherwise it enters, evicting the
+     members it strictly dominates. Both verdicts cannot hold at once
+     (dominance is transitive and the skyline has no dominated pairs). *)
+  let excluded = ref false in
+  let evicted = ref [] in
+  let i = ref 0 in
+  let m = Array.length t.sky in
+  while (not !excluded) && !i < m do
+    let s = t.sky.(!i) in
+    (match Dominance.compare t.data.(s) vec with
+    | Dominance.Dominates | Dominance.Equal -> excluded := true
+    | Dominance.Dominated -> evicted := s :: !evicted
+    | Dominance.Incomparable -> ());
+    incr i
+  done;
+  if !excluded then begin
+    Obs.Counter.incr c_insert_noops;
+    id
+  end
+  else begin
+    Obs.Counter.incr c_inserts;
+    let evicted_tbl = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace evicted_tbl s ();
+        Hashtbl.remove t.verdicts s;
+        Obs.Counter.incr c_sky_evictions)
+      !evicted;
+    let survivors =
+      Array.of_list
+        (List.filter
+           (fun s -> not (Hashtbl.mem evicted_tbl s))
+           (Array.to_list t.sky))
+    in
+    (* the new point has the largest slot position: append keeps ascending *)
+    t.sky <- Array.append survivors [| pos |];
+    (* bounded re-screen: a surviving happy member can only have gained the
+       new point as a subjugator; a surviving unhappy member stays unhappy
+       unless its cached witness was evicted (or never determined) *)
+    Array.iter
+      (fun s ->
+        match Hashtbl.find t.verdicts s with
+        | V_happy ->
+            if Happy.subjugates ?eps:t.eps vec t.data.(s) then
+              Hashtbl.replace t.verdicts s (V_unhappy pos)
+        | V_unhappy w ->
+            if w < 0 || Hashtbl.mem evicted_tbl w then rescreen t s)
+      survivors;
+    rescreen t pos;
+    refresh_after_sky_change t;
+    id
+  end
+
+let delete t id =
+  match Hashtbl.find_opt t.id_index id with
+  | None ->
+      Obs.Counter.incr c_delete_noops;
+      false
+  | Some pos when not t.alive.(pos) ->
+      Obs.Counter.incr c_delete_noops;
+      false
+  | Some pos ->
+      t.alive.(pos) <- false;
+      t.live <- t.live - 1;
+      Hashtbl.remove t.id_index id;
+      Obs.Counter.incr c_deletes;
+      let in_sky = Hashtbl.mem t.verdicts pos in
+      if in_sky then begin
+        let x = t.data.(pos) in
+        Hashtbl.remove t.verdicts pos;
+        let survivors =
+          Array.of_list (List.filter (fun s -> s <> pos) (Array.to_list t.sky))
+        in
+        t.sky <- survivors;
+        (* re-entry candidates: the live points the deleted member excluded
+           (it dominated them, or equalled them from an earlier slot). Any
+           other exclusion is still witnessed by a surviving member, so two
+           bounded filters recover the exact new skyline: drop candidates a
+           survivor dominates-or-equals, then run the pairwise rule among
+           what is left (earlier slot wins an equal pair). *)
+        let cands = ref [] in
+        for q = t.used - 1 downto 0 do
+          if t.alive.(q) && not (Hashtbl.mem t.verdicts q) then
+            match Dominance.compare x t.data.(q) with
+            | Dominance.Dominates | Dominance.Equal -> cands := q :: !cands
+            | Dominance.Dominated | Dominance.Incomparable -> ()
+        done;
+        let filtered =
+          List.filter
+            (fun q ->
+              not
+                (Array.exists
+                   (fun s ->
+                     match Dominance.compare t.data.(s) t.data.(q) with
+                     | Dominance.Dominates | Dominance.Equal -> true
+                     | _ -> false)
+                   survivors))
+            !cands
+        in
+        let entrants =
+          List.filter
+            (fun q ->
+              not
+                (List.exists
+                   (fun r ->
+                     r <> q
+                     &&
+                     match Dominance.compare t.data.(r) t.data.(q) with
+                     | Dominance.Dominates -> true
+                     | Dominance.Equal -> r < q
+                     | _ -> false)
+                   filtered))
+            filtered
+        in
+        let entrants = Array.of_list entrants in
+        Obs.Counter.add c_sky_entrants (Array.length entrants);
+        (* merge two ascending position arrays *)
+        let merged = Array.make (Array.length survivors + Array.length entrants) 0 in
+        let a = ref 0 and b = ref 0 and w = ref 0 in
+        while !a < Array.length survivors || !b < Array.length entrants do
+          let take_a =
+            !b >= Array.length entrants
+            || (!a < Array.length survivors && survivors.(!a) < entrants.(!b))
+          in
+          if take_a then begin
+            merged.(!w) <- survivors.(!a);
+            incr a
+          end
+          else begin
+            merged.(!w) <- entrants.(!b);
+            incr b
+          end;
+          incr w
+        done;
+        t.sky <- merged;
+        (* bounded re-screen mirroring the insert path: a surviving happy
+           member can only have gained an entrant as a subjugator; unhappy
+           members re-screen only when their witness was the deleted point
+           (or never determined); entrants get a full screen *)
+        Array.iter
+          (fun s ->
+            match Hashtbl.find t.verdicts s with
+            | V_happy ->
+                let w = ref (-1) in
+                Array.iter
+                  (fun e ->
+                    if !w < 0 && Happy.subjugates ?eps:t.eps t.data.(e) t.data.(s)
+                    then w := e)
+                  entrants;
+                if !w >= 0 then Hashtbl.replace t.verdicts s (V_unhappy !w)
+            | V_unhappy w -> if w < 0 || w = pos then rescreen t s)
+          survivors;
+        Array.iter (fun e -> rescreen t e) entrants;
+        refresh_after_sky_change t
+      end;
+      maybe_flush t;
+      true

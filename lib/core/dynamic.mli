@@ -1,0 +1,120 @@
+(** Incremental maintenance of the k-regret pipeline under inserts and
+    deletes (the paper's Section VII "dynamic datasets" future-work item).
+
+    A [Dynamic.t] owns a slot store of points (deletes tombstone, a
+    threshold-driven {!flush} compacts) and keeps the derived pipeline state
+    — skyline, happy set, stored list — synchronized after every update,
+    {e bit-identically} to rebuilding the whole pipeline from the live
+    points. The oracle in [Kregret_check.Dynamic_oracle] enforces exactly
+    that equivalence on fuzzed interleavings at several pool widths.
+
+    Where the incrementality lives:
+
+    - {b Skyline}: an insert dominated (or value-equaled) by a skyline
+      member is an exact no-op — O(|sky| * d) and nothing downstream moves.
+      An entering insert evicts only the members it dominates; a skyline
+      delete re-screens only the points the deleted member excluded.
+    - {b Happy set}: each skyline member carries a verdict with a witness
+      (one subjugator). An update fully re-screens only the new/re-entered
+      points and the members whose witness was invalidated; everyone else
+      is decided by probing against the few changed points.
+    - {b Stored list}: reused outright when the happy candidate array is
+      bit-unchanged, restored from a small content-verified memo when an
+      oscillating workload returns to a recent happy array, and otherwise
+      re-derived by one {!Stored_list.preprocess} pass over the happy set.
+      The memo and reuse tiers compare full float bits, never hashes.
+
+    Why the stored list is re-derived rather than patched in place:
+    GeoGreedy's champion cache is event-driven, and a champion value after
+    an event-path update can differ by one ulp from the value a fresh full
+    scan computes (the event path maximizes over replacement faces only).
+    Replaying a prefix and continuing therefore does not reproduce the
+    fresh run bit-for-bit on tie-heavy data; only a fresh preprocessing
+    pass does. The repair-depth histogram records how much of the list an
+    update actually invalidated (distance from the first divergent position
+    to the end).
+
+    Not thread-safe: the serve layer serializes updates and builds on one
+    worker and answers concurrent queries from immutable {!Snapshot}s. All
+    update paths are sequential, so results are identical for every
+    [Kregret_parallel.Pool] width (the rebuild pipeline underneath is
+    width-invariant by the repo-wide determinism contract). *)
+
+type t
+
+(** [create points] builds the initial state with the standard pipeline
+    (skyline -> happy screen -> stored-list preprocessing). Points get
+    external ids [0 .. n-1] in array order; later inserts continue the
+    sequence. [eps] and [max_length] are threaded to every rebuild;
+    [damage_ratio] (default [0.5], exclusive bounds (0,1)) is the tombstone
+    fraction that triggers an automatic compaction; [memo] (default 8) caps
+    the round-trip memo. Raises [Invalid_argument] on an empty array,
+    inconsistent dimensions, or an out-of-range [damage_ratio]. *)
+val create :
+  ?eps:float ->
+  ?max_length:int ->
+  ?damage_ratio:float ->
+  ?memo:int ->
+  Kregret_geom.Vector.t array ->
+  t
+
+(** [insert t p] adds a point and returns its external id. Coordinates must
+    be finite and in [(0, 1]] ([Invalid_argument] otherwise — dynamic data
+    must arrive pre-normalized, there is no global rescale to invalidate).
+    Duplicate and dominated points are accepted into the store but leave
+    the skyline, happy set, stored list and {!epoch} untouched. *)
+val insert : t -> Kregret_geom.Vector.t -> int
+
+(** [delete t id] tombstones the point with external id [id]; [false] when
+    the id is unknown or already deleted. Deleting a non-skyline point
+    leaves every answer untouched; deleting a skyline member triggers the
+    bounded repair described above. May auto-compact when the tombstone
+    fraction crosses the damage ratio. *)
+val delete : t -> int -> bool
+
+(** [flush t] compacts tombstoned slots immediately and returns how many
+    were reclaimed. External ids, answers and {!epoch} are unaffected. *)
+val flush : t -> int
+
+(** [query t ~k] is the k-regret answer over the live points: external ids
+    of the stored list's first [k] entries and the prefix's maximum regret
+    ratio. [([], 0.)] when no live points remain. *)
+val query : t -> k:int -> int list * float
+
+(** [mrr_at t ~k] is just the regret of the [k]-prefix. *)
+val mrr_at : t -> k:int -> float
+
+val dim : t -> int
+val live : t -> int
+
+(** [slots t] is the store size including tombstones. *)
+val slots : t -> int
+
+val tombstones : t -> int
+val sky_size : t -> int
+val happy_size : t -> int
+val stored_length : t -> int
+
+(** [epoch t] is the answer version: it bumps exactly when the skyline (and
+    possibly the stored list) changes, and stays put across no-op inserts,
+    non-skyline deletes and compactions — so it keys result caches with no
+    false invalidations. *)
+val epoch : t -> int
+
+(** [live_points t] lists the live [(id, point)] pairs in insertion order —
+    the rebuild oracle's input. *)
+val live_points : t -> (int * Kregret_geom.Vector.t) array
+
+(** Immutable answer snapshots: the serve layer publishes one after each
+    update batch and answers queries from it without touching [t]. *)
+module Snapshot : sig
+  type t
+
+  val epoch : t -> int
+  val live : t -> int
+  val stored_length : t -> int
+  val query : t -> k:int -> int list * float
+  val mrr_at : t -> k:int -> float
+end
+
+val snapshot : t -> Snapshot.t

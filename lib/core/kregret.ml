@@ -9,6 +9,7 @@
       algorithm, report the selection and its regret.
     - {!Geo_greedy} — the paper's Algorithm 1 (incremental geometric index).
     - {!Stored_list} — materialize once, answer any [k] in O(k).
+    - {!Dynamic} — incremental inserts/deletes, bit-identical to a rebuild.
     - {!Greedy_lp} / {!Cube} — the VLDB 2010 baselines.
     - {!Optimal2d} — exact optimum in two dimensions (DP).
     - {!Mrr} — evaluate the maximum regret ratio of any selection.
@@ -28,6 +29,7 @@ module Mrr = Mrr
 module Geo_greedy = Geo_greedy
 module Greedy_lp = Greedy_lp
 module Stored_list = Stored_list
+module Dynamic = Dynamic
 module Cube = Cube
 module Optimal2d = Optimal2d
 module Average_regret = Average_regret

@@ -35,34 +35,43 @@ let header_name line =
       | _ -> None)
     tokens
 
+(* parse CSV text already in memory; [path] only names the fallback dataset
+   name. Lets callers that need both the bytes and the points (e.g. the
+   serving registry, which fingerprints the exact bytes it parsed) read the
+   file once instead of racing two reads against concurrent rewrites. *)
+let parse_string ?name ~path contents =
+  let points = ref [] in
+  let header = ref None in
+  let lineno = ref 0 in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        if !header = None then header := header_name line
+      end
+      else
+        match parse_line line with
+        | p -> points := p :: !points
+        | exception Failure msg ->
+            failwith (Printf.sprintf "%s (line %d)" msg !lineno))
+    (String.split_on_char '\n' contents);
+  let name =
+    match (name, !header) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> Filename.remove_extension (Filename.basename path)
+  in
+  Dataset.create ~name (Array.of_list (List.rev !points))
+
 let load ?name path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let points = ref [] in
-      let header = ref None in
-      let lineno = ref 0 in
-      (try
-         while true do
-           let line = input_line ic in
-           incr lineno;
-           let line = String.trim line in
-           if line = "" then ()
-           else if String.length line > 0 && line.[0] = '#' then begin
-             if !header = None then header := header_name line
-           end
-           else
-             match parse_line line with
-             | p -> points := p :: !points
-             | exception Failure msg ->
-                 failwith (Printf.sprintf "%s (line %d)" msg !lineno)
-         done
-       with End_of_file -> ());
-      let name =
-        match (name, !header) with
-        | Some n, _ -> n
-        | None, Some n -> n
-        | None, None -> Filename.remove_extension (Filename.basename path)
-      in
-      Dataset.create ~name (Array.of_list (List.rev !points)))
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try really_input_string ic (in_channel_length ic)
+        with End_of_file -> failwith (path ^ ": truncated read"))
+  in
+  parse_string ?name ~path contents

@@ -14,6 +14,13 @@ val save : string -> Dataset.t -> unit
     line number on malformed input. *)
 val load : ?name:string -> string -> Dataset.t
 
+(** [parse_string ~path contents] parses CSV text already in memory; [path]
+    only provides the fallback dataset name. Callers that must fingerprint
+    exactly the bytes they parsed (the serving registry) read the file once
+    and hand the contents to both the hash and this parser. Raises
+    [Failure] like {!load}. *)
+val parse_string : ?name:string -> path:string -> string -> Dataset.t
+
 (** [parse_line line] parses one CSV record into a point. Raises [Failure]
     on malformed fields. Exposed for tests. *)
 val parse_line : string -> Kregret_geom.Vector.t

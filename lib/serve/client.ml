@@ -142,10 +142,10 @@ let query_fields ~op ~name ~k =
 let query_json t ~name ~k =
   request t (Json.to_string (Json.Obj (query_fields ~op:"query" ~name ~k)))
 
-(* send [op], retrying on [building] with the server's retry_after hint *)
-let with_building_retry ~retries t ~op ~name ~k extract =
+(* send a frame, retrying on [building] with the server's retry_after hint *)
+let with_building_retry_fields ~retries t fields extract =
   let rec go left =
-    match request t (Json.to_string (Json.Obj (query_fields ~op ~name ~k))) with
+    match request t (Json.to_string (Json.Obj fields)) with
     | Error m -> Error m
     | Ok j ->
         if is_ok j then extract j
@@ -157,6 +157,9 @@ let with_building_retry ~retries t ~op ~name ~k extract =
         else Error (server_error j)
   in
   go retries
+
+let with_building_retry ~retries t ~op ~name ~k extract =
+  with_building_retry_fields ~retries t (query_fields ~op ~name ~k) extract
 
 let extract_mrr j =
   match Option.bind (Json.member "mrr" j) Json.to_float with
@@ -178,3 +181,35 @@ let mrr ?(retries = 200) t ~name ~k =
       match extract_mrr j with
       | Some m -> Ok m
       | None -> Error ("mrr response missing mrr: " ^ Json.to_string j))
+
+(* ---- dynamic updates ------------------------------------------------------ *)
+
+let insert ?(retries = 200) t ~name ~point =
+  with_building_retry_fields ~retries t
+    [
+      ("op", Json.Str "insert");
+      ("name", Json.Str name);
+      ("point", Json.Arr (Array.to_list (Array.map (fun x -> Json.Num x) point)));
+    ]
+    (fun j ->
+      match Option.bind (Json.member "id" j) Json.to_int with
+      | Some id -> Ok id
+      | None -> Error ("insert response missing id: " ^ Json.to_string j))
+
+let delete ?(retries = 200) t ~name ~id =
+  with_building_retry_fields ~retries t
+    [ ("op", Json.Str "delete"); ("name", Json.Str name); ("id", Json.int id) ]
+    (fun j ->
+      match Option.bind (Json.member "applied" j) (fun v ->
+          match v with Json.Bool b -> Some b | _ -> None)
+      with
+      | Some applied -> Ok applied
+      | None -> Error ("delete response missing applied: " ^ Json.to_string j))
+
+let flush ?(retries = 200) t ~name =
+  with_building_retry_fields ~retries t
+    [ ("op", Json.Str "flush"); ("name", Json.Str name) ]
+    (fun j ->
+      match Option.bind (Json.member "reclaimed" j) Json.to_int with
+      | Some n -> Ok n
+      | None -> Error ("flush response missing reclaimed: " ^ Json.to_string j))

@@ -51,3 +51,23 @@ val query :
 val query_json : t -> name:string -> k:int -> (Json.t, string) result
 
 val mrr : ?retries:int -> t -> name:string -> k:int -> (float, string) result
+
+(** {1 Dynamic updates}
+
+    Each blocks until the server has applied the op and republished a
+    consistent snapshot (see {!Kregret.Dynamic}); all three retry on
+    [building] like {!query}. *)
+
+(** [insert t ~name ~point] — returns the new point's stable id. The point
+    must be pre-normalized: finite coordinates in [(0, 1]], dataset
+    dimension. *)
+val insert :
+  ?retries:int -> t -> name:string -> point:float array -> (int, string) result
+
+(** [delete t ~name ~id] — [Ok true] when a live point was tombstoned,
+    [Ok false] for an unknown or already-deleted id (an exact no-op). *)
+val delete : ?retries:int -> t -> name:string -> id:int -> (bool, string) result
+
+(** [flush t ~name] — compact tombstoned slots now; returns the number of
+    slots reclaimed. External ids are stable across flushes. *)
+val flush : ?retries:int -> t -> name:string -> (int, string) result

@@ -10,6 +10,9 @@ type request =
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }
+  | Insert of { name : string; point : float array }
+  | Delete of { name : string; id : int }
+  | Flush of { name : string }
 
 type error = { code : string; message : string }
 
@@ -38,6 +41,32 @@ let field_k obj =
             (err ~code:"bad_field"
                (Printf.sprintf "\"k\" must be a positive integer (got %d)" k))
       | None -> Error (err ~code:"bad_field" "\"k\" must be a positive integer"))
+
+let field_id obj =
+  match Json.member "id" obj with
+  | None -> Error (err ~code:"missing_field" "\"id\" is required")
+  | Some v -> (
+      match Json.to_int v with
+      | Some id when id >= 0 -> Ok id
+      | Some id ->
+          Error
+            (err ~code:"bad_field"
+               (Printf.sprintf "\"id\" must be a non-negative integer (got %d)" id))
+      | None ->
+          Error (err ~code:"bad_field" "\"id\" must be a non-negative integer"))
+
+let field_point obj =
+  match Json.member "point" obj with
+  | None -> Error (err ~code:"missing_field" "\"point\" is required")
+  | Some v -> (
+      match Json.to_list v with
+      | None -> Error (err ~code:"bad_field" "\"point\" must be an array of numbers")
+      | Some [] -> Error (err ~code:"bad_field" "\"point\" must be non-empty")
+      | Some elems -> (
+          let coords = List.filter_map Json.to_float elems in
+          if List.length coords <> List.length elems then
+            Error (err ~code:"bad_field" "\"point\" must be an array of numbers")
+          else Ok (Array.of_list coords)))
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
@@ -72,6 +101,17 @@ let parse_request ?(max_line = default_max_line) line =
                 let* name = field_str obj "name" in
                 let* k = field_k obj in
                 Ok (Mrr { name; k })
+            | Some "insert" ->
+                let* name = field_str obj "name" in
+                let* point = field_point obj in
+                Ok (Insert { name; point })
+            | Some "delete" ->
+                let* name = field_str obj "name" in
+                let* id = field_id obj in
+                Ok (Delete { name; id })
+            | Some "flush" ->
+                let* name = field_str obj "name" in
+                Ok (Flush { name })
             | Some "evict" -> (
                 match Json.member "name" obj with
                 | None -> Ok (Evict { name = None })

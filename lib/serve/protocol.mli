@@ -16,9 +16,20 @@
       {"op":"stats"}                          cache/batch/server statistics
       {"op":"evict"}                          clear the result cache
       {"op":"evict","name":NAME}              drop a dataset (and its cache rows)
+      {"op":"insert","name":NAME,"point":[X,...]}  add a point; answers its id
+      {"op":"delete","name":NAME,"id":ID}     tombstone a point by id
+      {"op":"flush","name":NAME}              compact tombstoned slots now
       {"op":"ping"}                           liveness
       {"op":"shutdown"}                       stop the server
     v}
+
+    [insert]/[delete]/[flush] run on the registry's single worker thread,
+    serialized with background builds; the calling connection blocks until
+    the update (and its incremental repair — see {!Kregret.Dynamic}) is
+    published. Queries never block on an in-flight update: they answer from
+    the last published snapshot. Inserted points must be pre-normalized
+    (finite coordinates in [(0, 1]], dimension matching the dataset) —
+    anything else is a [bad_point] error.
 
     Every response carries ["ok"]; failures are structured —
     [{"ok":false,"error":{"code":CODE,"message":MSG}}], optionally with a
@@ -26,7 +37,7 @@
     terminate the server. Error codes: [parse_error], [bad_request],
     [missing_field], [bad_field], [unknown_op], [frame_too_large],
     [not_found], [building], [build_failed], [load_failed],
-    [stale_dataset], [internal]. *)
+    [stale_dataset], [bad_point], [internal]. *)
 
 val version : string
 (** ["kregret-serve/v1"]. *)
@@ -45,6 +56,9 @@ type request =
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }
+  | Insert of { name : string; point : float array }
+  | Delete of { name : string; id : int }
+  | Flush of { name : string }
 
 type error = { code : string; message : string }
 

@@ -1,9 +1,7 @@
 module Vector = Kregret_geom.Vector
 module Dataset = Kregret_dataset.Dataset
 module Csv_io = Kregret_dataset.Csv_io
-module Skyline = Kregret_skyline.Skyline
-module Happy = Kregret_happy.Happy
-module Stored_list = Kregret.Stored_list
+module Dynamic = Kregret.Dynamic
 module Obs = Kregret_obs
 
 let c_loads =
@@ -16,6 +14,18 @@ let c_build_failures =
   Obs.Registry.counter "serve.registry.build_failures"
     ~help:"background builds that raised"
 
+let c_build_retries =
+  Obs.Registry.counter "serve.registry.build_retries"
+    ~help:"failed builds re-enqueued by a re-load of the unchanged file"
+
+let c_updates =
+  Obs.Registry.counter "serve.registry.updates"
+    ~help:"insert/delete/flush jobs applied on the worker"
+
+let c_update_failures =
+  Obs.Registry.counter "serve.registry.update_failures"
+    ~help:"update jobs answered with an error"
+
 let c_stale =
   Obs.Registry.counter "serve.stale_rejections"
     ~help:"queries rejected because the CSV changed on disk after load"
@@ -23,11 +33,13 @@ let c_stale =
 let g_datasets =
   Obs.Registry.gauge "serve.registry.datasets" ~help:"datasets currently registered"
 
+(* What queries read: an immutable answer snapshot plus the summary sizes,
+   republished wholesale after every build and every applied update. The
+   live [Dynamic.t] itself is touched only by the worker thread. *)
 type built = {
-  happy : Vector.t array;
-  orig_of_happy : int array;
-  stored : Stored_list.t;
+  snap : Dynamic.Snapshot.t;
   n_sky : int;
+  n_happy : int;
   build_seconds : float;
 }
 
@@ -39,22 +51,46 @@ type info = {
   fingerprint : string;
   n : int;
   d : int;
+  mutated : bool;
   status : status;
 }
+
+type update_op = [ `Insert of Vector.t | `Delete of int | `Flush ]
+
+type update_outcome = {
+  applied : bool;
+  inserted_id : int option;
+  reclaimed : int;
+  epoch : int;
+  live : int;
+}
+
+type update_reply = (update_outcome, string * string) result
 
 type entry = {
   e_name : string;
   e_path : string;
   e_fingerprint : string;
-  points : Vector.t array;  (* normalized rows, the "original" index space *)
+  points : Vector.t array;  (* normalized rows, the initial id space *)
+  mutable e_dyn : Dynamic.t option;  (* worker-owned once Ready *)
+  mutable e_mutated : bool;  (* diverged from the CSV via updates *)
   mutable e_status : status;
 }
+
+type job =
+  | Build of string * string  (* name, fingerprint *)
+  | Update of {
+      u_name : string;
+      u_fingerprint : string;
+      u_op : update_op;
+      u_cell : update_reply option ref;  (* filled under the mutex *)
+    }
 
 type t = {
   mutex : Mutex.t;
   cond : Condition.t;
   entries : (string, entry) Hashtbl.t;
-  queue : (string * string) Queue.t;  (* (name, fingerprint) build jobs *)
+  queue : job Queue.t;
   max_length : int option;
   mutable stop : bool;
   mutable worker : Thread.t option;
@@ -71,57 +107,168 @@ let snapshot e =
     fingerprint = e.e_fingerprint;
     n = Array.length e.points;
     d = (if Array.length e.points = 0 then 0 else Vector.dim e.points.(0));
+    mutated = e.e_mutated;
     status = e.e_status;
   }
 
-(* The full offline pipeline of the paper: skyline -> happy points ->
-   GeoGreedy materialization. Runs on the build thread; the hot loops
-   inside use the global domain pool. *)
+(* The full offline pipeline of the paper, materialized as a [Dynamic.t] so
+   later updates repair incrementally. Runs on the build thread; the hot
+   loops inside use the global domain pool. *)
 let build ~max_length points =
   let t0 = Unix.gettimeofday () in
   try
     Obs.Span.with_ "serve.build" (fun () ->
-        let sky_idx = Skyline.sfs points in
-        let sky = Array.map (fun i -> points.(i)) sky_idx in
-        let happy_idx = Happy.happy_points sky in
-        let happy = Array.map (fun i -> sky.(i)) happy_idx in
-        let orig_of_happy = Array.map (fun i -> sky_idx.(i)) happy_idx in
-        let stored = Stored_list.preprocess ?max_length happy in
-        Obs.Counter.incr c_builds;
-        Ready
+        let dyn = Dynamic.create ?max_length points in
+        let built =
           {
-            happy;
-            orig_of_happy;
-            stored;
-            n_sky = Array.length sky_idx;
+            snap = Dynamic.snapshot dyn;
+            n_sky = Dynamic.sky_size dyn;
+            n_happy = Dynamic.happy_size dyn;
             build_seconds = Unix.gettimeofday () -. t0;
-          })
+          }
+        in
+        Obs.Counter.incr c_builds;
+        (Some dyn, Ready built))
   with e ->
     Obs.Counter.incr c_build_failures;
-    Failed (Printexc.to_string e)
+    (None, Failed (Printexc.to_string e))
+
+(* apply one update on the worker thread, off the mutex; the [Dynamic]
+   raises [Invalid_argument] on malformed points, which maps to the
+   [bad_point] wire error *)
+let apply_update dyn op =
+  try
+    let outcome =
+      match op with
+      | `Insert p ->
+          let id = Dynamic.insert dyn p in
+          {
+            applied = true;
+            inserted_id = Some id;
+            reclaimed = 0;
+            epoch = Dynamic.epoch dyn;
+            live = Dynamic.live dyn;
+          }
+      | `Delete id ->
+          let ok = Dynamic.delete dyn id in
+          {
+            applied = ok;
+            inserted_id = None;
+            reclaimed = 0;
+            epoch = Dynamic.epoch dyn;
+            live = Dynamic.live dyn;
+          }
+      | `Flush ->
+          let reclaimed = Dynamic.flush dyn in
+          {
+            applied = reclaimed > 0;
+            inserted_id = None;
+            reclaimed;
+            epoch = Dynamic.epoch dyn;
+            live = Dynamic.live dyn;
+          }
+    in
+    Ok outcome
+  with Invalid_argument m -> Error ("bad_point", m)
+
+let publish_built dyn ~build_seconds =
+  {
+    snap = Dynamic.snapshot dyn;
+    n_sky = Dynamic.sky_size dyn;
+    n_happy = Dynamic.happy_size dyn;
+    build_seconds;
+  }
 
 let worker_loop t =
   Mutex.lock t.mutex;
   while not t.stop do
     if Queue.is_empty t.queue then Condition.wait t.cond t.mutex
     else begin
-      let name, fp = Queue.pop t.queue in
-      match Hashtbl.find_opt t.entries name with
-      | Some e
-        when String.equal e.e_fingerprint fp
-             && (match e.e_status with Building -> true | _ -> false) ->
-          let points = e.points in
-          Mutex.unlock t.mutex;
-          let status = build ~max_length:t.max_length points in
-          Mutex.lock t.mutex;
-          (* the entry may have been evicted or replaced while we built *)
-          (match Hashtbl.find_opt t.entries name with
-          | Some e' when String.equal e'.e_fingerprint fp ->
-              e'.e_status <- status
-          | _ -> ())
-      | _ -> ()  (* superseded or evicted job *)
+      match Queue.pop t.queue with
+      | Build (name, fp) -> (
+          match Hashtbl.find_opt t.entries name with
+          | Some e
+            when String.equal e.e_fingerprint fp
+                 && (match e.e_status with Building -> true | _ -> false) ->
+              let points = e.points in
+              Mutex.unlock t.mutex;
+              let dyn, status = build ~max_length:t.max_length points in
+              Mutex.lock t.mutex;
+              (* the entry may have been evicted or replaced while we built *)
+              (match Hashtbl.find_opt t.entries name with
+              | Some e' when String.equal e'.e_fingerprint fp ->
+                  e'.e_dyn <- dyn;
+                  e'.e_status <- status
+              | _ -> ())
+          | _ -> ()  (* superseded or evicted job *))
+      | Update { u_name; u_fingerprint; u_op; u_cell } -> (
+          let reply r =
+            (match r with
+            | Ok _ -> Obs.Counter.incr c_updates
+            | Error _ -> Obs.Counter.incr c_update_failures);
+            u_cell := Some r;
+            Condition.broadcast t.cond
+          in
+          match Hashtbl.find_opt t.entries u_name with
+          | Some e
+            when String.equal e.e_fingerprint u_fingerprint
+                 && (match e.e_status with Ready _ -> true | _ -> false) -> (
+              match e.e_dyn with
+              | None ->
+                  reply
+                    (Error
+                       ( "internal",
+                         Printf.sprintf "dataset %S is ready with no state"
+                           u_name ))
+              | Some dyn ->
+                  let build_seconds =
+                    match e.e_status with
+                    | Ready b -> b.build_seconds
+                    | _ -> 0.
+                  in
+                  Mutex.unlock t.mutex;
+                  let r = apply_update dyn u_op in
+                  let published = publish_built dyn ~build_seconds in
+                  Mutex.lock t.mutex;
+                  (* republish on the same entry only: an evict/re-load that
+                     raced the update owns the name now *)
+                  (match Hashtbl.find_opt t.entries u_name with
+                  | Some e' when e' == e ->
+                      e'.e_status <- Ready published;
+                      (match r with
+                      | Ok { applied = true; reclaimed = 0; _ } ->
+                          (* a flush changes no live point, so the CSV still
+                             describes the dataset; inserts/deletes diverge *)
+                          e'.e_mutated <- true
+                      | _ -> ())
+                  | _ -> ());
+                  reply r)
+          | Some { e_status = Building; _ } ->
+              reply
+                (Error
+                   ( "building",
+                     Printf.sprintf "dataset %S is still building" u_name ))
+          | Some { e_status = Failed m; _ } ->
+              reply
+                (Error
+                   ( "build_failed",
+                     Printf.sprintf "dataset %S failed to build: %s" u_name m ))
+          | _ ->
+              reply
+                (Error
+                   ( "not_found",
+                     Printf.sprintf "dataset %S is not loaded" u_name )))
     end
   done;
+  (* drain: outstanding update waiters must not hang on shutdown *)
+  Queue.iter
+    (function
+      | Build _ -> ()
+      | Update { u_cell; _ } ->
+          u_cell := Some (Error ("internal", "registry is shut down")))
+    t.queue;
+  Queue.clear t.queue;
+  Condition.broadcast t.cond;
   Mutex.unlock t.mutex
 
 let create ?max_length () =
@@ -151,11 +298,27 @@ let shutdown t =
   match worker with Some w -> Thread.join w | None -> ()
 
 let load t ~name ~path =
-  match Fingerprint.of_file path with
+  (* one read serves both the fingerprint and the parser, so the hash always
+     matches the points actually loaded (hashing and re-reading the file
+     separately raced concurrent rewrites) *)
+  let contents =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | c -> Ok c
+    | exception Sys_error m -> Error m
+    | exception End_of_file -> Error (path ^ ": truncated read")
+  in
+  match contents with
   | Error m -> Error m
-  | Ok fp -> (
+  | Ok contents -> (
+      let fp = Fingerprint.of_string contents in
       match
-        try Ok (Dataset.normalize (Csv_io.load ~name path)) with
+        try Ok (Dataset.normalize (Csv_io.parse_string ~name ~path contents))
+        with
         | Failure m -> Error m
         | Invalid_argument m -> Error (path ^ ": " ^ m)
       with
@@ -166,8 +329,21 @@ let load t ~name ~path =
               else begin
                 Obs.Counter.incr c_loads;
                 match Hashtbl.find_opt t.entries name with
+                | Some ({ e_status = Failed _; _ } as e)
+                  when String.equal e.e_fingerprint fp ->
+                    (* same bytes, but the build failed (possibly
+                       transiently): an explicit re-load retries instead of
+                       parroting the stale failure forever *)
+                    Obs.Counter.incr c_build_retries;
+                    e.e_status <- Building;
+                    e.e_dyn <- None;
+                    Queue.push (Build (name, fp)) t.queue;
+                    Condition.broadcast t.cond;
+                    Ok (snapshot e)
                 | Some e when String.equal e.e_fingerprint fp ->
-                    (* unchanged bytes: keep the build (or its result) *)
+                    (* unchanged bytes: keep the build (or its result) —
+                       concurrent loads of the same file are idempotent and
+                       enqueue no duplicate job *)
                     Ok (snapshot e)
                 | _ ->
                     let e =
@@ -176,15 +352,61 @@ let load t ~name ~path =
                         e_path = path;
                         e_fingerprint = fp;
                         points = ds.Dataset.points;
+                        e_dyn = None;
+                        e_mutated = false;
                         e_status = Building;
                       }
                     in
                     Hashtbl.replace t.entries name e;
                     Obs.Gauge.set_int g_datasets (Hashtbl.length t.entries);
-                    Queue.push (name, fp) t.queue;
+                    Queue.push (Build (name, fp)) t.queue;
                     Condition.broadcast t.cond;
                     Ok (snapshot e)
               end))
+
+let update t ~name op =
+  let cell = ref None in
+  let enqueued =
+    locked t (fun () ->
+        if t.stop then Error ("internal", "registry is shut down")
+        else
+          match Hashtbl.find_opt t.entries name with
+          | None ->
+              Error
+                ("not_found", Printf.sprintf "dataset %S is not loaded" name)
+          | Some { e_status = Building; _ } ->
+              Error
+                ( "building",
+                  Printf.sprintf "dataset %S is still building" name )
+          | Some { e_status = Failed m; _ } ->
+              Error
+                ( "build_failed",
+                  Printf.sprintf "dataset %S failed to build: %s" name m )
+          | Some e ->
+              Queue.push
+                (Update
+                   {
+                     u_name = name;
+                     u_fingerprint = e.e_fingerprint;
+                     u_op = op;
+                     u_cell = cell;
+                   })
+                t.queue;
+              Condition.broadcast t.cond;
+              Ok ())
+  in
+  match enqueued with
+  | Error _ as e ->
+      Obs.Counter.incr c_update_failures;
+      e
+  | Ok () ->
+      locked t (fun () ->
+          while !cell = None && not t.stop do
+            Condition.wait t.cond t.mutex
+          done;
+          match !cell with
+          | Some r -> r
+          | None -> Error ("internal", "registry is shut down"))
 
 let find t name =
   locked t (fun () ->
@@ -203,20 +425,26 @@ let evict t name =
       existed)
 
 let fresh _t info =
-  match Fingerprint.of_file info.path with
-  | Error m ->
-      Obs.Counter.incr c_stale;
-      Error
-        (Printf.sprintf
-           "dataset %S: backing file %s is no longer readable (%s); re-load it"
-           info.name info.path m)
-  | Ok fp ->
-      if String.equal fp info.fingerprint then Ok ()
-      else begin
+  if info.mutated then
+    (* the dataset has diverged from its CSV by design: the file is a seed,
+       not the source of truth, and rewrites of it are irrelevant until the
+       next explicit re-load *)
+    Ok ()
+  else
+    match Fingerprint.of_file info.path with
+    | Error m ->
         Obs.Counter.incr c_stale;
         Error
           (Printf.sprintf
-             "dataset %S: %s changed on disk since load (loaded %s, file now \
-              hashes to %s); re-load it"
-             info.name info.path info.fingerprint fp)
-      end
+             "dataset %S: backing file %s is no longer readable (%s); re-load it"
+             info.name info.path m)
+    | Ok fp ->
+        if String.equal fp info.fingerprint then Ok ()
+        else begin
+          Obs.Counter.incr c_stale;
+          Error
+            (Printf.sprintf
+               "dataset %S: %s changed on disk since load (loaded %s, file now \
+                hashes to %s); re-load it"
+               info.name info.path info.fingerprint fp)
+        end

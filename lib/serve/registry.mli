@@ -1,31 +1,50 @@
 (** Dataset registry: load CSV datasets once, precompute skyline → happy
-    points → StoredList in the background, serve any [k] afterwards as an
-    O(k) prefix read.
+    points → StoredList in the background (materialized as a
+    {!Kregret.Dynamic} state), serve any [k] afterwards as an O(k) prefix
+    read — and accept incremental [insert]/[delete]/[flush] updates that
+    repair the precomputation instead of rebuilding it.
 
-    [load] is cheap and non-blocking: it fingerprints the file bytes
-    ({!Fingerprint}), parses and normalizes the CSV on the calling thread,
-    registers the entry as [Building] and hands the expensive
-    GeoGreedy materialization to a single background build thread (which
-    uses the global {!Kregret_parallel.Pool} internally — builds are
-    serialized so parallel regions never nest). Queries against a
-    still-[Building] entry get a [retry_after] answer from the server, never
-    a blocked accept loop.
+    [load] is cheap and non-blocking: it reads the file {e once},
+    fingerprints exactly the bytes it parsed ({!Fingerprint.of_string} —
+    hashing and re-reading separately raced concurrent rewrites), parses
+    and normalizes the CSV on the calling thread, registers the entry as
+    [Building] and hands the expensive GeoGreedy materialization to a
+    single background worker thread (which uses the global
+    {!Kregret_parallel.Pool} internally — builds are serialized so parallel
+    regions never nest). Concurrent [load]s of the same unchanged file are
+    idempotent: they join the in-flight build instead of enqueuing a
+    duplicate. Re-[load]ing a name whose build [Failed] on unchanged bytes
+    re-enqueues the build (failures can be transient), counted as
+    [serve.registry.build_retries]. Queries against a still-[Building]
+    entry get a [retry_after] answer from the server, never a blocked
+    accept loop.
+
+    {b Updates.} {!update} enqueues an insert/delete/flush on the {e same}
+    worker queue as builds, so updates serialize against builds and against
+    each other, and blocks the calling connection thread until the worker
+    has applied the op and republished a consistent {!built} snapshot.
+    Queries never wait on an in-flight update — they read the last
+    published snapshot under the registry mutex. Each applied update bumps
+    the snapshot's [Dynamic] epoch when the answer could have changed,
+    which servers fold into their cache key so stale cached answers simply
+    age out.
 
     {b Staleness.} Every entry remembers the byte fingerprint of the file
     it was built from. {!fresh} re-hashes the file and must be consulted
     before serving: a dataset whose CSV was rewritten on disk between
     [load] and [query] is {e rejected} ([stale_dataset]) instead of being
-    silently answered from the stale StoredList. Re-[load]ing the same name
-    picks up the new contents and rebuilds. *)
+    silently answered from the stale materialization. Once a dataset has
+    been mutated through {!update}, the CSV is a seed rather than the
+    source of truth, and {!fresh} always passes. Re-[load]ing the same
+    name picks up the new file contents and rebuilds (dropping any
+    updates). *)
 
 type built = {
-  happy : Kregret_geom.Vector.t array;  (** the candidate set handed to GeoGreedy *)
-  orig_of_happy : int array;
-      (** happy-array slot → row index in the {e original} (normalized)
-          dataset; served selections are reported in original rows *)
-  stored : Kregret.Stored_list.t;
+  snap : Kregret.Dynamic.Snapshot.t;
+      (** immutable answer state: query/mrr by prefix, live count, epoch *)
   n_sky : int;  (** skyline size, for [list] *)
-  build_seconds : float;
+  n_happy : int;  (** happy-point count, for [list] *)
+  build_seconds : float;  (** initial build cost (not update repair time) *)
 }
 
 type status = Building | Ready of built | Failed of string
@@ -34,28 +53,52 @@ type info = {
   name : string;
   path : string;
   fingerprint : string;
-  n : int;  (** dataset rows *)
+  n : int;  (** rows loaded from the CSV (not updated by inserts/deletes) *)
   d : int;
+  mutated : bool;  (** diverged from the CSV via {!update} *)
   status : status;
 }
 
+type update_op = [ `Insert of Kregret_geom.Vector.t | `Delete of int | `Flush ]
+
+type update_outcome = {
+  applied : bool;
+      (** [false] for exact no-ops: deleting an unknown/tombstoned id, or a
+          flush with nothing to reclaim *)
+  inserted_id : int option;  (** the new point's stable id, inserts only *)
+  reclaimed : int;  (** slots compacted away, flushes only *)
+  epoch : int;  (** answer version after the op *)
+  live : int;  (** live points after the op *)
+}
+
+(** [Error (code, message)] uses the wire error codes: [not_found],
+    [building], [build_failed], [bad_point], [internal]. *)
+type update_reply = (update_outcome, string * string) result
+
 type t
 
-(** [create ?max_length ()] starts the build worker. [max_length] caps the
-    StoredList materialization (the [--max-k] serving knob — see
+(** [create ?max_length ()] starts the build/update worker. [max_length]
+    caps the StoredList materialization (the [--max-k] serving knob — see
     {!Kregret.Stored_list.preprocess}); queries beyond the cap return the
     whole materialized list. *)
 val create : ?max_length:int -> unit -> t
 
-(** [shutdown t] stops and joins the build worker (waits for an in-flight
-    build). Idempotent. *)
+(** [shutdown t] stops and joins the worker (waits for an in-flight build
+    or update; pending queued updates are answered with an [internal]
+    error, never left hanging). Idempotent. *)
 val shutdown : t -> unit
 
 (** [load t ~name ~path] registers (or re-registers, when the fingerprint
     changed) a dataset and enqueues its build; returns a snapshot.
-    Re-loading an unchanged file is a no-op returning the current status.
-    [Error] on unreadable or malformed CSV. *)
+    Re-loading an unchanged file joins the existing entry — except when its
+    build [Failed], which retries. [Error] on unreadable or malformed
+    CSV. *)
 val load : t -> name:string -> path:string -> (info, string) result
+
+(** [update t ~name op] — blocking insert/delete/flush against a [Ready]
+    dataset. Points must be pre-normalized (finite, in [(0, 1]], matching
+    dimension): anything else is [Error ("bad_point", _)]. *)
+val update : t -> name:string -> update_op -> update_reply
 
 val find : t -> string -> info option
 
@@ -66,5 +109,6 @@ val list : t -> info list
 val evict : t -> string -> bool
 
 (** [fresh t info] — re-fingerprint [info.path] and fail when it no longer
-    matches the loaded bytes (counted as [serve.stale_rejections]). *)
+    matches the loaded bytes (counted as [serve.stale_rejections]).
+    Always [Ok] once [info.mutated]. *)
 val fresh : t -> info -> (unit, string) result

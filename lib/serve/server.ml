@@ -1,4 +1,4 @@
-module Stored_list = Kregret.Stored_list
+module Dynamic = Kregret.Dynamic
 module Obs = Kregret_obs
 
 let c_connections =
@@ -29,9 +29,12 @@ type cached = { c_selection : int list option; c_mrr : float }
 type t = {
   cfg : config;
   reg : Registry.t;
-  cache : ((string * int * string), cached) Lru.t;
+  (* keyed by (fingerprint, epoch, k, kind): the epoch is the dataset's
+     answer version, so an insert/delete invalidates by key churn — stale
+     rows age out of the LRU with no explicit flush *)
+  cache : ((string * int * int * string), cached) Lru.t;
   cache_mutex : Mutex.t;
-  batcher : ((string * int * string), cached) Batcher.t;
+  batcher : ((string * int * int * string), cached) Batcher.t;
   listen_fd : Unix.file_descr;
   state_mutex : Mutex.t;
   mutable stopping : bool;
@@ -81,8 +84,11 @@ let dataset_json info =
     | Registry.Ready b ->
         [
           ("sky", Json.int b.Registry.n_sky);
-          ("happy", Json.int (Array.length b.Registry.happy));
-          ("materialized", Json.int (Stored_list.length b.Registry.stored));
+          ("happy", Json.int b.Registry.n_happy);
+          ("materialized", Json.int (Dynamic.Snapshot.stored_length b.Registry.snap));
+          ("live", Json.int (Dynamic.Snapshot.live b.Registry.snap));
+          ("epoch", Json.int (Dynamic.Snapshot.epoch b.Registry.snap));
+          ("mutated", Json.Bool info.Registry.mutated);
           ("build_seconds", Json.Num b.Registry.build_seconds);
         ]
     | Registry.Failed m -> [ ("error", Json.Str m) ]
@@ -129,7 +135,13 @@ let handle_query t ~name ~k ~kind =
           match Registry.fresh t.reg info with
           | Error m -> error t (Protocol.err ~code:"stale_dataset" m)
           | Ok () ->
-              let key = (info.Registry.fingerprint, k, kind) in
+              let snap = b.Registry.snap in
+              let key =
+                ( info.Registry.fingerprint,
+                  Dynamic.Snapshot.epoch snap,
+                  k,
+                  kind )
+              in
               let hit = with_lock t.cache_mutex (fun () -> Lru.get t.cache key) in
               let value, cached, coalesced =
                 match hit with
@@ -137,17 +149,14 @@ let handle_query t ~name ~k ~kind =
                 | None ->
                     let v, coalesced =
                       Batcher.run t.batcher ~key (fun () ->
-                          let sel = Stored_list.query b.Registry.stored ~k in
-                          let mrr = Stored_list.mrr_at b.Registry.stored ~k in
-                          let orig =
-                            List.map
-                              (fun i -> b.Registry.orig_of_happy.(i))
-                              sel
-                          in
+                          (* ids are the registry's stable external ids: row
+                             indices of the loaded CSV, then fresh ids for
+                             inserts *)
+                          let ids, mrr = Dynamic.Snapshot.query snap ~k in
                           let v =
                             {
                               c_selection =
-                                (if kind = "query" then Some orig else None);
+                                (if kind = "query" then Some ids else None);
                               c_mrr = mrr;
                             }
                           in
@@ -175,6 +184,32 @@ let handle_query t ~name ~k ~kind =
               in
               Protocol.ok_response fields))
 
+(* insert/delete/flush: hand the op to the registry worker and block this
+   connection thread until the incremental repair is published. [building]
+   gets the retry hint, like queries. *)
+let handle_update t ~name ~kind op =
+  match Registry.update t.reg ~name op with
+  | Error (("building" as code), m) ->
+      error t ~retry_after:t.cfg.retry_after (Protocol.err ~code m)
+  | Error (code, m) -> error t (Protocol.err ~code m)
+  | Ok o ->
+      let base =
+        [
+          ("op", Json.Str kind);
+          ("name", Json.Str name);
+          ("applied", Json.Bool o.Registry.applied);
+          ("live", Json.int o.Registry.live);
+          ("epoch", Json.int o.Registry.epoch);
+        ]
+      in
+      let extra =
+        match (o.Registry.inserted_id, kind) with
+        | Some id, _ -> [ ("id", Json.int id) ]
+        | None, "flush" -> [ ("reclaimed", Json.int o.Registry.reclaimed) ]
+        | None, _ -> []
+      in
+      Protocol.ok_response (base @ extra)
+
 let handle_evict t ~name =
   match name with
   | None ->
@@ -192,7 +227,7 @@ let handle_evict t ~name =
       | Some fp ->
           with_lock t.cache_mutex (fun () ->
               List.iter
-                (fun ((kfp, _, _) as key) ->
+                (fun ((kfp, _, _, _) as key) ->
                   if String.equal kfp fp then ignore (Lru.remove t.cache key))
                 (Lru.keys_mru t.cache))
       | None -> ());
@@ -279,6 +314,12 @@ let handle_request t line =
         | Protocol.Query { name; k } ->
             (handle_query t ~name ~k ~kind:"query", false)
         | Protocol.Mrr { name; k } -> (handle_query t ~name ~k ~kind:"mrr", false)
+        | Protocol.Insert { name; point } ->
+            (handle_update t ~name ~kind:"insert" (`Insert point), false)
+        | Protocol.Delete { name; id } ->
+            (handle_update t ~name ~kind:"delete" (`Delete id), false)
+        | Protocol.Flush { name } ->
+            (handle_update t ~name ~kind:"flush" (`Flush), false)
         | Protocol.Evict { name } -> (handle_evict t ~name, false)
       with e ->
         (* requests never take the server down *)

@@ -31,6 +31,7 @@ let () =
       ("validation", Test_validation.suite);
       ("average-regret", Test_average_regret.suite);
       ("csv-io", Test_csv_io.suite);
+      ("dynamic", Test_dynamic.suite);
       ("check", Test_check.suite);
       ("obs", Test_obs.suite);
       ("lru", Test_lru.suite);

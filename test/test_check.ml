@@ -65,7 +65,7 @@ let test_smoke_campaign_clean () =
         Fuzzer.default with
         Fuzzer.instances = 40;
         seed = 20140331;
-        oracle = { Oracle.samples = 192; jobs_hi = 2 };
+        oracle = { Oracle.samples = 192; jobs_hi = 2; suite = Oracle.All };
       }
   in
   Alcotest.(check int) "ran all instances" 40 summary.Fuzzer.ran;
@@ -83,7 +83,7 @@ let test_smoke_campaign_clean () =
         Fuzzer.default with
         Fuzzer.instances = 40;
         seed = 20140331;
-        oracle = { Oracle.samples = 192; jobs_hi = 2 };
+        oracle = { Oracle.samples = 192; jobs_hi = 2; suite = Oracle.All };
       }
   in
   Alcotest.(check int) "replayed" 40 again.Fuzzer.ran
@@ -275,6 +275,31 @@ let test_frame_shrinker_real_parser () =
      done;
      not !deletable)
 
+(* ---- update-trace shrinker ------------------------------------------------- *)
+
+let test_trace_shrinker_minimizes () =
+  (* synthetic predicate: the trace still holds both magic ops, in order *)
+  let fails ops =
+    let rec go want = function
+      | [] -> want = []
+      | x :: rest -> (
+          match want with
+          | w :: ws when x = w -> go ws rest
+          | _ -> go want rest)
+    in
+    go [ 13; 37 ] ops
+  in
+  let noisy = List.init 40 (fun i -> i) in
+  Alcotest.(check bool) "noisy trace fails" true (fails noisy);
+  let shrunk = Shrink.trace ~fails noisy in
+  Alcotest.(check (list int)) "1-minimal trace" [ 13; 37 ] shrunk;
+  Alcotest.(check (list int)) "deterministic" shrunk (Shrink.trace ~fails noisy)
+
+let test_trace_shrinker_leaves_passing () =
+  let ops = [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "passing trace unchanged" ops
+    (Shrink.trace ~fails:(fun _ -> false) ops)
+
 let test_tolerance_constants () =
   check_float ~eps:0. "tie is the DESIGN.md §8 agreement tolerance" 1e-6
     Tolerance.tie;
@@ -315,6 +340,10 @@ let suite =
       test_frame_shrinker_leaves_passing;
     Alcotest.test_case "frame shrinker vs the real serve parser" `Quick
       test_frame_shrinker_real_parser;
+    Alcotest.test_case "trace shrinker minimizes op lists" `Quick
+      test_trace_shrinker_minimizes;
+    Alcotest.test_case "trace shrinker leaves passing traces alone" `Quick
+      test_trace_shrinker_leaves_passing;
     Alcotest.test_case "tolerance constants pinned" `Quick
       test_tolerance_constants;
   ]

@@ -47,7 +47,9 @@ type direct = {
 let direct_of_csv path =
   let ds = Dataset.normalize (Csv_io.load path) in
   let points = ds.Dataset.points in
-  let sky_idx = Skyline.sfs points in
+  (* naive, not sfs: the Dynamic-backed registry keeps the naive
+     (first-by-input-order) representative of duplicated maximal points *)
+  let sky_idx = Skyline.naive points in
   let sky = Array.map (fun i -> points.(i)) sky_idx in
   let happy_idx = Happy.happy_points sky in
   let happy = Array.map (fun i -> sky.(i)) happy_idx in
@@ -368,6 +370,163 @@ let test_load_failures () =
             (Option.bind (Json.member "datasets" j) Json.to_list
             |> Option.value ~default:[] |> List.length)))
 
+(* ---- dynamic updates over the wire ---------------------------------------- *)
+
+(* rebuild expectation over an explicit (id, point) live set *)
+let expected_of_live live ~k =
+  let vecs = Array.map snd live in
+  let sky_idx = Skyline.naive vecs in
+  let sky = Array.map (fun i -> vecs.(i)) sky_idx in
+  let happy_idx = Happy.happy_points sky in
+  let happy = Array.map (fun i -> sky.(i)) happy_idx in
+  let stored = Stored_list.preprocess happy in
+  let sel = Stored_list.query stored ~k in
+  ( List.map (fun e -> fst live.(sky_idx.(happy_idx.(e)))) sel,
+    Stored_list.mrr_at stored ~k )
+
+let test_update_verbs_end_to_end () =
+  let path = write_csv ~name:"dyn" ~n:60 ~d:3 ~seed:41 in
+  let base = (Dataset.normalize (Csv_io.load path)).Dataset.points in
+  let n = Array.length base in
+  let with_ids pts = Array.mapi (fun i p -> (i, p)) pts in
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          load_and_wait c ~name:"dyn" ~path;
+          let k = 4 in
+          let sel0, mrr0 = or_fail "query" (Client.query c ~name:"dyn" ~k) in
+          (* insert a skyline-entering point: ids continue past the CSV rows *)
+          let p = [| 0.99; 0.98; 0.97 |] in
+          let id = or_fail "insert" (Client.insert c ~name:"dyn" ~point:p) in
+          Alcotest.(check int) "insert id continues the row sequence" n id;
+          let live = Array.append (with_ids base) [| (id, p) |] in
+          let sel_ref, mrr_ref = expected_of_live live ~k in
+          let sel, mrr = or_fail "query after insert" (Client.query c ~name:"dyn" ~k) in
+          Alcotest.(check (list int)) "post-insert selection == rebuild" sel_ref sel;
+          Alcotest.check exact_float "post-insert mrr == rebuild" mrr_ref mrr;
+          Alcotest.(check bool) "the insert shows up in the answer" true
+            (List.mem id sel);
+          (* a mutated dataset no longer goes stale when the CSV is rewritten:
+             the file is a seed, not the source of truth *)
+          let st = Testutil.test_rng 77 in
+          Csv_io.save path
+            (Dataset.create ~name:"dyn"
+               (Array.init 10 (fun _ -> Testutil.random_point st 3)));
+          let sel', _ = or_fail "query after CSV rewrite" (Client.query c ~name:"dyn" ~k) in
+          Alcotest.(check (list int)) "rewrite ignored once mutated" sel sel';
+          (* delete the insert: answers return to the original bits *)
+          Alcotest.(check bool) "delete applies" true
+            (or_fail "delete" (Client.delete c ~name:"dyn" ~id));
+          let sel'', mrr'' = or_fail "query after delete" (Client.query c ~name:"dyn" ~k) in
+          Alcotest.(check (list int)) "round trip restores the selection" sel0 sel'';
+          Alcotest.check exact_float "round trip restores the mrr" mrr0 mrr'';
+          (* flush reclaims the tombstone; deleting a dead id is a no-op *)
+          Alcotest.(check int) "flush reclaims the tombstone" 1
+            (or_fail "flush" (Client.flush c ~name:"dyn"));
+          Alcotest.(check bool) "dead id delete is a no-op" false
+            (or_fail "delete again" (Client.delete c ~name:"dyn" ~id));
+          (* malformed points are structured bad_point errors, not failures *)
+          (match Client.insert c ~name:"dyn" ~point:[| 0.5; 0.5 |] with
+          | Ok _ -> Alcotest.fail "dimension mismatch should be rejected"
+          | Error m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "bad_point for wrong dim (got %s)" m)
+                true
+                (Testutil.contains m "bad_point"));
+          (match Client.insert c ~name:"dyn" ~point:[| 0.5; 0.5; 2.5 |] with
+          | Ok _ -> Alcotest.fail "out-of-range coordinate should be rejected"
+          | Error m ->
+              Alcotest.(check bool) "bad_point for out-of-range" true
+                (Testutil.contains m "bad_point"));
+          (* list reports the dynamic facts *)
+          let j = or_fail "list" (Client.list_datasets c) in
+          let d0 =
+            List.hd
+              (Option.bind (Json.member "datasets" j) Json.to_list
+              |> Option.value ~default:[])
+          in
+          Alcotest.(check (option bool)) "mutated flag" (Some true)
+            (Option.bind (Json.member "mutated" d0) Json.to_bool);
+          Alcotest.(check (option int)) "live count" (Some n)
+            (Option.bind (Json.member "live" d0) Json.to_int);
+          Alcotest.(check bool) "epoch advanced" true
+            (Option.bind (Json.member "epoch" d0) Json.to_int
+             |> Option.value ~default:(-1) > 0)))
+
+(* concurrent loads of the same unchanged file are idempotent: one entry,
+   every caller joins the same build, and the dataset serves afterwards *)
+let test_concurrent_load_idempotent () =
+  let path = write_csv ~name:"multi" ~n:120 ~d:3 ~seed:53 in
+  let reg = Serve.Registry.create () in
+  Fun.protect ~finally:(fun () -> Serve.Registry.shutdown reg) (fun () ->
+      let results = Array.make 8 (Error "unset") in
+      let threads =
+        Array.init 8 (fun i ->
+            Thread.create
+              (fun () -> results.(i) <- Serve.Registry.load reg ~name:"multi" ~path)
+              ())
+      in
+      Array.iter Thread.join threads;
+      let fps =
+        Array.to_list results
+        |> List.map (fun r -> (or_fail "concurrent load" r).Serve.Registry.fingerprint)
+      in
+      (match fps with
+      | fp :: rest ->
+          List.iter
+            (fun fp' ->
+              Alcotest.(check string) "all loads saw one fingerprint" fp fp')
+            rest
+      | [] -> Alcotest.fail "no loads ran");
+      Alcotest.(check int) "one registry entry" 1
+        (List.length (Serve.Registry.list reg));
+      (* the single build completes and serves *)
+      let rec wait tries =
+        if tries = 0 then Alcotest.fail "build never finished"
+        else
+          match Serve.Registry.find reg "multi" with
+          | Some { Serve.Registry.status = Serve.Registry.Ready _; _ } -> ()
+          | Some { Serve.Registry.status = Serve.Registry.Failed m; _ } ->
+              Alcotest.failf "build failed: %s" m
+          | _ ->
+              Thread.delay 0.02;
+              wait (tries - 1)
+      in
+      wait 500)
+
+(* a Failed build is retried by an explicit re-load of the same bytes
+   (failures can be transient); it must not stick forever *)
+let test_failed_build_reload_retries () =
+  (* d = 21 parses and normalizes fine but the happy screen refuses d > 20,
+     so the background build fails deterministically *)
+  let st = Testutil.test_rng 61 in
+  let points = Array.init 8 (fun _ -> Testutil.random_point st 21) in
+  let path = Filename.temp_file "kregret_serve_wide" ".csv" in
+  Csv_io.save path (Dataset.create ~name:"wide" points);
+  let reg = Serve.Registry.create () in
+  Fun.protect ~finally:(fun () -> Serve.Registry.shutdown reg) (fun () ->
+      ignore (or_fail "first load" (Serve.Registry.load reg ~name:"wide" ~path));
+      let rec wait_failed tries =
+        if tries = 0 then Alcotest.fail "build never failed"
+        else
+          match Serve.Registry.find reg "wide" with
+          | Some { Serve.Registry.status = Serve.Registry.Failed _; _ } -> ()
+          | Some { Serve.Registry.status = Serve.Registry.Ready _; _ } ->
+              Alcotest.fail "d=21 build unexpectedly succeeded"
+          | _ ->
+              Thread.delay 0.02;
+              wait_failed (tries - 1)
+      in
+      wait_failed 500;
+      (* the re-load re-enqueues instead of parroting the cached failure *)
+      let info = or_fail "re-load" (Serve.Registry.load reg ~name:"wide" ~path) in
+      (match info.Serve.Registry.status with
+      | Serve.Registry.Building -> ()
+      | Serve.Registry.Failed _ ->
+          Alcotest.fail "re-load returned the stale failure without retrying"
+      | Serve.Registry.Ready _ -> Alcotest.fail "d=21 cannot be ready");
+      (* the retry runs to its (deterministic) failure, not limbo *)
+      wait_failed 500)
+
 let suite =
   [
     Alcotest.test_case "e2e: selections bit-identical for all k (cold, cached, \
@@ -389,4 +548,10 @@ let suite =
       `Quick test_stale_dataset_rejected;
     Alcotest.test_case "lifecycle: load failures are structured" `Quick
       test_load_failures;
+    Alcotest.test_case "dynamic: insert/delete/flush verbs end to end" `Slow
+      test_update_verbs_end_to_end;
+    Alcotest.test_case "registry: concurrent loads of one file are idempotent"
+      `Quick test_concurrent_load_idempotent;
+    Alcotest.test_case "registry: failed builds are retried on re-load" `Quick
+      test_failed_build_reload_retries;
   ]
