@@ -1,0 +1,172 @@
+(* Serving-tier benchmark (the event-driven poller PR): one in-process
+   server on a Unix-domain socket, hammered by [!serve_clients] concurrent
+   clients, each issuing [!serve_reqs] query/mrr requests with ks drawn
+   from a small cycle (so the LRU cache and the batcher both participate,
+   exactly as they would under production fan-in).
+
+   Reported, and emitted to BENCH_serve.json:
+   - connections/sec over a sequential connect/hello/close churn loop
+     (the poller's accept + live-table retire path)
+   - queries/sec and per-request latency p50/p99 (milliseconds) under the
+     full concurrent client load
+   - the cache hit rate for the run, read from the server's own stats verb
+
+   The CI smoke gate asserts p99 > p50 > 0 and hit rate in [0, 1]; the
+   committed BENCH_serve.json documents the acceptance numbers (100+
+   clients, p99 < 10 ms on n = 10^4, d = 6). *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Csv_io = Kregret_dataset.Csv_io
+module Rng = Kregret_dataset.Rng
+module Serve = Kregret_serve
+module Client = Serve.Client
+module Server = Serve.Server
+module Json = Serve.Json
+
+let serve_n = ref 10_000
+let serve_d = ref 6
+let serve_clients = ref 100
+let serve_reqs = ref 100
+let serve_churn = ref 2_000
+let max_length = 32
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let or_die what = function
+  | Ok v -> v
+  | Error m ->
+      Fmt.epr "serve bench: %s: %s@." what m;
+      exit 1
+
+let run () =
+  header "serve — event-driven poller under concurrent load";
+  let n = !serve_n and d = !serve_d in
+  let clients = !serve_clients and reqs = !serve_reqs in
+  note "n=%d d=%d, %d clients x %d requests, %d-conn churn" n d clients reqs
+    !serve_churn;
+  (* the dataset: anti-correlated (the paper's hard case), saved to a CSV
+     the server loads through its normal path *)
+  let csv = Filename.temp_file "kregret_bench_serve" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove csv with Sys_error _ -> ())
+    (fun () ->
+      Csv_io.save csv
+        (Generator.by_name "anti_correlated" (Rng.create bench_seed) ~n ~d);
+      let socket_path = Server.temp_socket_path () in
+      let server =
+        Server.start_exn
+          (Server.config ~cache_capacity:256 ~max_length ~socket_path ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop server)
+        (fun () ->
+          let c0 = or_die "connect" (Client.connect ~socket_path ()) in
+          ignore (or_die "load" (Client.load c0 ~name:"bench" ~path:csv));
+          or_die "wait_ready" (Client.wait_ready ~attempts:6000 c0 ~name:"bench");
+          (* ks cycle over the materialized prefix: the first pass per k is
+             a miss (batched among racing clients), the rest are hits *)
+          let ks = Array.init 10 (fun i -> 1 + (i mod max_length)) in
+          (* churn: sequential connect / hello / close — the accept and
+             retire path of the poller, no request work *)
+          let churn = !serve_churn in
+          let t_churn =
+            time_only (fun () ->
+                for _ = 1 to churn do
+                  match Client.connect ~socket_path () with
+                  | Ok c -> Client.close c
+                  | Error m ->
+                      Fmt.epr "serve bench: churn connect: %s@." m;
+                      exit 1
+                done)
+          in
+          let conns_per_sec = float_of_int churn /. t_churn in
+          (* the concurrent load: every request latency recorded *)
+          let lat = Array.make_matrix clients reqs 0. in
+          let failures = Atomic.make 0 in
+          let t_load =
+            time_only (fun () ->
+                let threads =
+                  Array.init clients (fun ci ->
+                      Thread.create
+                        (fun () ->
+                          match Client.connect ~socket_path () with
+                          | Error _ -> Atomic.incr failures
+                          | Ok c ->
+                              Fun.protect
+                                ~finally:(fun () -> Client.close c)
+                                (fun () ->
+                                  for r = 0 to reqs - 1 do
+                                    let k = ks.((ci + r) mod Array.length ks) in
+                                    let t0 = Unix.gettimeofday () in
+                                    (match
+                                       Client.query c ~name:"bench" ~k
+                                     with
+                                    | Ok _ -> ()
+                                    | Error _ -> Atomic.incr failures);
+                                    lat.(ci).(r) <- Unix.gettimeofday () -. t0
+                                  done))
+                        ())
+                in
+                Array.iter Thread.join threads)
+          in
+          if Atomic.get failures > 0 then begin
+            Fmt.epr "serve bench: %d failed requests@." (Atomic.get failures);
+            exit 1
+          end;
+          let all = Array.concat (Array.to_list lat) in
+          Array.sort compare all;
+          let p50 = 1000. *. percentile all 0.50 in
+          let p99 = 1000. *. percentile all 0.99 in
+          let total = clients * reqs in
+          let qps = float_of_int total /. t_load in
+          (* the server's own verdict on cache efficiency *)
+          let stats = or_die "stats" (Client.stats c0) in
+          let cache_int name =
+            Option.bind (Json.member "cache" stats) (Json.member name)
+            |> Fun.flip Option.bind Json.to_int
+            |> Option.value ~default:0
+          in
+          let hits = cache_int "hits" and misses = cache_int "misses" in
+          let hit_rate =
+            if hits + misses = 0 then 0.
+            else float_of_int hits /. float_of_int (hits + misses)
+          in
+          Client.close c0;
+          cells [ 18; 12; 12; 12; 12; 12 ]
+            [ "metric"; "conns/s"; "qps"; "p50 ms"; "p99 ms"; "hit rate" ];
+          cells [ 18; 12; 12; 12; 12; 12 ]
+            [
+              "serve";
+              Printf.sprintf "%.0f" conns_per_sec;
+              Printf.sprintf "%.0f" qps;
+              Printf.sprintf "%.3f" p50;
+              Printf.sprintf "%.3f" p99;
+              Printf.sprintf "%.3f" hit_rate;
+            ];
+          emit_json ~id:"serve"
+            ~extra:
+              [
+                ("n", Int n);
+                ("d", Int d);
+                ("clients", Int clients);
+                ("requests_per_client", Int reqs);
+              ]
+            [
+              [
+                ("clients", Int clients);
+                ("total_requests", Int total);
+                ("conns_per_sec", Float conns_per_sec);
+                ("qps", Float qps);
+                ("p50_ms", Float p50);
+                ("p99_ms", Float p99);
+                ("cache_hit_rate", Float hit_rate);
+                ("cache_hits", Int hits);
+                ("cache_misses", Int misses);
+                ("wall_seconds", Float t_load);
+              ];
+            ]))

@@ -18,7 +18,7 @@
    Bench_util.emit_json.
 
    Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
-   scal ablation micro kernel update. *)
+   scal ablation micro kernel update serve. *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -39,6 +39,7 @@ let sections : (string * (unit -> unit)) list =
     ("micro", Exp_micro.run);
     ("kernel", Exp_kernel.run);
     ("update", Exp_update.run);
+    ("serve", Exp_serve.run);
   ]
 
 let aliases = [ ("tab1", "table12"); ("tab3", "table3"); ("ablat", "ablation") ]
@@ -98,7 +99,11 @@ let () =
     Exp_scal.scal_n := 10_000;
     Exp_scal.scal_k := 50;
     Exp_update.update_n := 2_000;
-    Exp_update.update_ops := 500
+    Exp_update.update_ops := 500;
+    Exp_serve.serve_n := 2_000;
+    Exp_serve.serve_clients := 8;
+    Exp_serve.serve_reqs := 50;
+    Exp_serve.serve_churn := 500
   end;
   if smoke then begin
     (* tiny scales: every section in seconds, for CI on jobs=1 and jobs=2 *)
@@ -109,7 +114,11 @@ let () =
     Exp_kernel.kernel_n := 2_000;
     Exp_kernel.kernel_k := 20;
     Exp_update.update_n := 500;
-    Exp_update.update_ops := 120
+    Exp_update.update_ops := 120;
+    Exp_serve.serve_n := 500;
+    Exp_serve.serve_clients := 8;
+    Exp_serve.serve_reqs := 20;
+    Exp_serve.serve_churn := 100
   end;
   let wanted =
     match args with

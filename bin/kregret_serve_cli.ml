@@ -1,13 +1,16 @@
-(* kregret_serve — StoredList-backed k-regret query server over a
-   Unix-domain socket, speaking the line-oriented JSON protocol
-   [kregret-serve/v1] (see lib/serve/protocol.mli).
+(* kregret_serve — StoredList-backed k-regret query server over any mix of
+   Unix-domain and TCP stream sockets, speaking the line-oriented JSON
+   protocol [kregret-serve/v1] (see lib/serve/protocol.mli).
 
-   Server mode (default): bind --socket, optionally --preload datasets,
-   serve until a [shutdown] request (or SIGINT/SIGTERM) arrives.
+   Server mode (default): bind every --listen endpoint (or --socket),
+   optionally --preload datasets, serve until a [shutdown] request (or
+   SIGINT/SIGTERM) arrives. One event-driven IO thread multiplexes every
+   listener and connection; --workers threads run the request handlers.
 
-   Client mode (--client): connect to --socket and run the commands given
-   as positional arguments (shorthand verbs or raw JSON frames; reads
-   stdin when none are given), printing one raw response line per request.
+   Client mode (--client): connect to --connect (or --socket) and run the
+   commands given as positional arguments (shorthand verbs or raw JSON
+   frames; reads stdin when none are given), printing one raw response
+   line per request.
 
    Exit status: 0 = success, 1 = a request failed / server error,
    124 = bad usage. *)
@@ -49,6 +52,20 @@ let frame_of_command = function
             ("name", Serve.Json.Str name);
             ("path", Serve.Json.Str path);
           ])
+  | [ "load"; name; path; shards ] -> (
+      match int_of_string_opt shards with
+      | Some s ->
+          Ok
+            (`Send
+              [
+                ("op", Serve.Json.Str "load");
+                ("name", Serve.Json.Str name);
+                ("path", Serve.Json.Str path);
+                ("shards", Serve.Json.int s);
+              ])
+      | None ->
+          Error
+            (Printf.sprintf "load: SHARDS must be an integer, got %S" shards))
   | [ "wait"; name ] -> Ok (`Wait name)
   | [ "flush"; name ] ->
       Ok
@@ -98,7 +115,7 @@ let frame_of_command = function
       Error
         (Printf.sprintf
            "unknown command %S (expected: ping | list | stats | shutdown | \
-            evict [NAME] | load NAME PATH | query NAME K | mrr NAME K | \
+            evict [NAME] | load NAME PATH [SHARDS] | query NAME K | mrr NAME K | \
             insert NAME P1,P2,.. | delete NAME ID | flush NAME | wait NAME, \
             or a raw JSON frame)"
            (String.concat " " cmd))
@@ -115,7 +132,14 @@ let rec group_commands = function
         | "ping" | "list" | "stats" | "shutdown" -> Ok 0
         | "wait" | "flush" -> Ok 1
         | "query" | "mrr" -> Ok 2
-        | "load" | "insert" | "delete" -> Ok 2
+        | "insert" | "delete" -> Ok 2
+        | "load" ->
+            (* NAME PATH plus a greedy optional SHARDS when the next word
+               is an integer (paths are never bare integers in practice) *)
+            Ok
+              (match rest with
+              | _ :: _ :: third :: _ when int_of_string_opt third <> None -> 3
+              | _ -> 2)
         | "evict" ->
             (* greedy 1-arg unless the next word is a verb or raw frame *)
             Ok
@@ -151,16 +175,18 @@ let read_stdin_frames () =
   in
   go []
 
-let run_client ~socket_path ~timeout commands =
+let run_client ~endpoint ~timeout commands =
   match group_commands commands with
   | Error m ->
       Fmt.epr "kregret_serve: %s@." m;
       124
   | Ok cmds -> (
       let cmds = if cmds = [] then read_stdin_frames () else cmds in
-      match Serve.Client.connect ~timeout ~socket_path () with
+      match Serve.Client.connect_to ~timeout endpoint with
       | Error m ->
-          Fmt.epr "kregret_serve: connect %s: %s@." socket_path m;
+          Fmt.epr "kregret_serve: connect %s: %s@."
+            (Serve.Endpoint.to_string endpoint)
+            m;
           1
       | Ok client ->
           let ok = ref true in
@@ -208,8 +234,8 @@ let parse_preload spec =
       Ok (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
   | _ -> Error (Printf.sprintf "--preload expects NAME=PATH, got %S" spec)
 
-let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
-    ~quiet () =
+let run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
+    ~shards ~preload ~quiet () =
   let preloads =
     List.map
       (fun spec ->
@@ -222,14 +248,13 @@ let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
   in
   let config =
     Serve.Server.config ~cache_capacity:cache_size ~max_line ~retry_after
-      ?max_length:max_k ~socket_path ()
+      ?max_length:max_k ~workers ~shards ~listeners ()
   in
   match Serve.Server.start config with
-  | exception Unix.Unix_error (e, _, _) ->
-      Fmt.epr "kregret_serve: cannot bind %s: %s@." socket_path
-        (Unix.error_message e);
+  | Error m ->
+      Fmt.epr "kregret_serve: cannot bind %s@." m;
       1
-  | server ->
+  | Ok server ->
       let stop _ = Serve.Server.signal_stop server in
       (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
        with Invalid_argument _ | Sys_error _ -> ());
@@ -239,7 +264,7 @@ let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
       let preload_failed = ref false in
       List.iter
         (fun (name, path) ->
-          match Serve.Registry.load registry ~name ~path with
+          match Serve.Registry.load ~shards registry ~name ~path with
           | Ok _ -> if not quiet then Fmt.epr "preloading %s (%s)@." name path
           | Error m ->
               preload_failed := true;
@@ -251,8 +276,12 @@ let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
       end
       else begin
         if not quiet then
-          Fmt.epr "kregret_serve: listening on %s (cache %d, jobs %d)@."
-            socket_path cache_size (Pool.get_jobs ());
+          Fmt.epr
+            "kregret_serve: listening on %s (cache %d, workers %d, jobs %d)@."
+            (String.concat ", "
+               (List.map Serve.Endpoint.to_string
+                  (Serve.Server.endpoints server)))
+            cache_size workers (Pool.get_jobs ());
         Serve.Server.wait server;
         if not quiet then Fmt.epr "kregret_serve: stopped@.";
         0
@@ -260,26 +289,80 @@ let run_server ~socket_path ~cache_size ~max_line ~retry_after ~max_k ~preload
 
 (* ---- cmdliner ------------------------------------------------------------ *)
 
-let run client socket timeout cache_size max_line retry_after max_k preload jobs
-    quiet obs commands =
+let run client socket listen connect timeout cache_size max_line retry_after
+    max_k workers shards preload jobs quiet obs commands =
   with_obs obs @@ fun () ->
   Pool.set_jobs jobs;
-  if client then run_client ~socket_path:socket ~timeout commands
+  let parse_endpoint spec =
+    match Serve.Endpoint.parse spec with
+    | Ok ep -> ep
+    | Error m ->
+        Fmt.epr "kregret_serve: %s@." m;
+        exit 124
+  in
+  if client then
+    let endpoint =
+      parse_endpoint (match connect with Some c -> c | None -> socket)
+    in
+    run_client ~endpoint ~timeout commands
   else if commands <> [] then begin
     Fmt.epr
       "kregret_serve: positional commands are only valid with --client@.";
     124
   end
   else
-    run_server ~socket_path:socket ~cache_size ~max_line ~retry_after ~max_k
-      ~preload ~quiet ()
+    (* --listen wins; plain --socket keeps the pre-TCP calling convention *)
+    let listeners =
+      match listen with
+      | [] -> [ Serve.Endpoint.Unix_path socket ]
+      | specs -> List.map parse_endpoint specs
+    in
+    run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
+      ~shards ~preload ~quiet ()
 
 let socket_arg =
   Arg.(
     value
     & opt string (Filename.concat (Filename.get_temp_dir_name ()) "kregret-serve.sock")
     & info [ "socket" ] ~docv:"PATH"
-        ~doc:"Unix-domain socket path to bind (server) or connect to (client).")
+        ~doc:
+          "Unix-domain socket path to bind (server) or connect to (client). \
+           Superseded by $(b,--listen) / $(b,--connect).")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "listen" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Listen on $(docv) — $(b,unix:)PATH or $(b,tcp:)HOST:PORT (port 0 \
+           picks a free port). Repeatable; every listener serves the same \
+           registry. Overrides $(b,--socket).")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Client mode: connect to $(docv) ($(b,unix:)PATH or \
+           $(b,tcp:)HOST:PORT) instead of $(b,--socket).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Request-handler threads behind the event-driven IO loop.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Default shard count for dataset loads: with $(docv) > 1 each load \
+           scatter-gathers the build across $(docv) contiguous partitions \
+           (answers stay bit-identical; sharded datasets are static). A \
+           per-load $(i,shards) field on the wire overrides this.")
 
 let client_arg =
   Arg.(
@@ -377,7 +460,8 @@ let commands_arg =
     & info [] ~docv:"COMMAND"
         ~doc:
           "Client-mode commands: $(b,ping), $(b,list), $(b,stats), \
-           $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH, $(b,query) \
+           $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH [SHARDS], \
+           $(b,query) \
            NAME K, $(b,mrr) NAME K, $(b,insert) NAME P1,P2,.., $(b,delete) \
            NAME ID, $(b,flush) NAME, $(b,wait) NAME, or a raw JSON frame \
            (anything starting with '{').")
@@ -397,11 +481,18 @@ let cmd =
          requests apply incremental maintenance (lib/core/dynamic.mli) on \
          the server's build worker, and queries key on the dataset epoch so \
          stale cached answers age out on their own. The wire protocol is one \
-         JSON object per line over a Unix-domain socket (kregret-serve/v1).";
+         JSON object per line over a stream socket (kregret-serve/v1): any \
+         mix of Unix-domain and TCP listeners via repeated $(b,--listen), \
+         multiplexed by one event-driven IO thread with a $(b,--workers) \
+         handler pool. Loads with $(i,shards) > 1 build through the \
+         scatter-gather shard tier (lib/serve/shard.mli) — identical \
+         answers, static datasets.";
       `S Manpage.s_examples;
       `Pre
-        "  kregret_serve --socket /tmp/kr.sock --preload nba=nba.csv &\n\
-        \  kregret_serve --socket /tmp/kr.sock --client wait nba query nba 5\n\
+        "  kregret_serve --listen unix:/tmp/kr.sock --listen \
+         tcp:127.0.0.1:7070 --preload nba=nba.csv &\n\
+        \  kregret_serve --connect tcp:127.0.0.1:7070 --client wait nba query \
+         nba 5\n\
         \  echo '{\"op\":\"stats\"}' | kregret_serve --socket /tmp/kr.sock \
          --client\n\
         \  kregret_serve --socket /tmp/kr.sock --client shutdown";
@@ -410,8 +501,9 @@ let cmd =
   Cmd.v
     (Cmd.info "kregret_serve" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ client_arg $ socket_arg $ timeout_arg $ cache_arg
-      $ max_line_arg $ retry_after_arg $ max_k_arg $ preload_arg $ jobs_arg
-      $ quiet_arg $ obs_term $ commands_arg)
+      const run $ client_arg $ socket_arg $ listen_arg $ connect_arg
+      $ timeout_arg $ cache_arg $ max_line_arg $ retry_after_arg $ max_k_arg
+      $ workers_arg $ shards_arg $ preload_arg $ jobs_arg $ quiet_arg
+      $ obs_term $ commands_arg)
 
 let () = exit (Cmd.eval' cmd)

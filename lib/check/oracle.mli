@@ -23,6 +23,10 @@
     - [jobs-invariance] — skyline, happy set, GeoGreedy trajectory and the
       Monte-Carlo estimate are bit-identical at pool widths 1 and
       [jobs_hi];
+    - [shard-merge] — the scatter-gather shard tier
+      ({!Kregret_serve.Shard}) answers row-for-row and bit-for-bit what
+      the monolithic naive→happy→StoredList pipeline answers, at every
+      tested shard count and at pool widths 1 and [jobs_hi];
     - [serve] / [serve-protocol] — an in-process query server loaded with
       the instance answers every wire request bit-identically to the
       offline StoredList, and survives malformed frames with structured

@@ -37,7 +37,7 @@ let known_error_codes =
   [
     "parse_error"; "bad_request"; "missing_field"; "bad_field"; "unknown_op";
     "frame_too_large"; "not_found"; "building"; "build_failed"; "load_failed";
-    "stale_dataset"; "bad_point"; "internal";
+    "stale_dataset"; "static_dataset"; "bad_point"; "internal";
   ]
 
 (* a handful of deterministic malformed frames; the server must answer each
@@ -74,15 +74,24 @@ let check inst =
       (* [Csv_io.save] emits %.17g and the instance is already normalized,
          so the server's normalize-on-load sees these exact points *)
       let e = expected_of_points inst.Instance.points in
-      let socket_path = Serve.Server.temp_socket_path () in
-      let server =
-        Serve.Server.start
-          (Serve.Server.config ~cache_capacity:4 ~max_length ~socket_path ())
+      (* alternate the transport by instance parity: the wire core is
+         transport-agnostic and both listener kinds must serve identical
+         bits (the poller treats them uniformly) *)
+      let listener =
+        if inst.Instance.id mod 2 = 0 then
+          Serve.Endpoint.Unix_path (Serve.Server.temp_socket_path ())
+        else Serve.Endpoint.Tcp ("127.0.0.1", 0)
       in
+      let server =
+        Serve.Server.start_exn
+          (Serve.Server.config ~cache_capacity:4 ~max_length
+             ~listeners:[ listener ] ())
+      in
+      let endpoint = List.hd (Serve.Server.endpoints server) in
       Fun.protect
         ~finally:(fun () -> Serve.Server.stop server)
         (fun () ->
-          match Serve.Client.connect ~socket_path () with
+          match Serve.Client.connect_to endpoint with
           | Error m -> fail "serve-protocol" "connect: %s" m
           | Ok c ->
               Fun.protect

@@ -16,3 +16,19 @@ let locked f =
 let clock : (unit -> float) ref = ref Sys.time
 let set_clock f = clock := f
 let now () = !clock ()
+
+(* A wall clock can step backwards (NTP slew, manual resets); anything that
+   reports ages or uptimes from it can go negative. [monotonic_of] pins a
+   high-water mark over the base clock, so readings never decrease: a
+   backwards step is held at the last value until real time catches up. *)
+let monotonic_of base =
+  let last = Atomic.make neg_infinity in
+  fun () ->
+    let rec advance () =
+      let prev = Atomic.get last in
+      let t = base () in
+      if t <= prev then prev
+      else if Atomic.compare_and_set last prev t then t
+      else advance ()
+    in
+    advance ()

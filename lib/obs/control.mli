@@ -29,3 +29,11 @@ val now : unit -> float
 val set_clock : (unit -> float) -> unit
 (** Install the time source used by {!Span} timers and the pool's busy-time
     histogram (e.g. [Unix.gettimeofday] for wall-clock traces). *)
+
+val monotonic_of : (unit -> float) -> unit -> float
+(** [monotonic_of base] wraps a clock so its readings never decrease: a
+    backwards step of [base] (NTP slew, a manual wall-clock reset) is held
+    at the previous high-water mark until real time catches up again.
+    Thread-safe; each wrapper keeps its own mark. Uptime counters and span
+    ages should be computed against such a wrapper, never raw
+    [Unix.gettimeofday] differences. *)

@@ -57,5 +57,14 @@ let run t ~key f =
       Mutex.unlock t.mutex;
       (match r with Ok v -> (v, false) | Error e -> raise e)
 
-let leaders t = t.leaders
-let followers t = t.followers
+(* Counter reads take the mutex: the mutable fields are written under it,
+   and an unsynchronized read could tear a (leaders, followers) pair taken
+   for a stats frame — the pair must always count whole events. *)
+let counts t =
+  Mutex.lock t.mutex;
+  let c = (t.leaders, t.followers) in
+  Mutex.unlock t.mutex;
+  c
+
+let leaders t = fst (counts t)
+let followers t = snd (counts t)

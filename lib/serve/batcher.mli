@@ -22,5 +22,10 @@ val create : unit -> ('k, 'v) t
     [f] is re-raised in the leader {e and} every follower. *)
 val run : ('k, 'v) t -> key:'k -> (unit -> 'v) -> 'v * bool
 
+(** [counts t] is [(leaders, followers)] read atomically under the
+    batcher mutex — a consistent pair for stats frames (independent reads
+    of {!leaders} and {!followers} could straddle an event). *)
+val counts : ('k, 'v) t -> int * int
+
 val leaders : ('k, 'v) t -> int
 val followers : ('k, 'v) t -> int

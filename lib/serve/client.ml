@@ -10,33 +10,32 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let connect ?(timeout = 30.) ~socket_path () =
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
-  | fd -> (
+let connect_to ?(timeout = 30.) endpoint =
+  match Endpoint.connect endpoint with
+  | Error m -> Error m
+  | Ok fd -> (
       let fail msg =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error msg
       in
-      match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-      | exception Unix.Unix_error (e, _, _) ->
-          fail (socket_path ^ ": " ^ Unix.error_message e)
-      | () -> (
-          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
-           with Unix.Unix_error _ | Invalid_argument _ -> ());
-          let reader = Protocol.reader fd in
-          match Protocol.read_line reader ~max:Protocol.default_max_line with
-          | `Line line -> (
-              match Json.parse line with
-              | Ok j
-                when Option.bind (Json.member "hello" j) Json.to_str
-                     = Some Protocol.version ->
-                  Ok { fd; reader; closed = false }
-              | Ok _ | Error _ ->
-                  fail (Printf.sprintf "unexpected hello frame %S" line))
-          | `Eof -> fail "connection closed before hello"
-          | `Too_long -> fail "oversized hello frame"
-          | `Error m -> fail ("reading hello: " ^ m)))
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+       with Unix.Unix_error _ | Invalid_argument _ -> ());
+      let reader = Protocol.reader fd in
+      match Protocol.read_line reader ~max:Protocol.default_max_line with
+      | `Line line -> (
+          match Json.parse line with
+          | Ok j
+            when Option.bind (Json.member "hello" j) Json.to_str
+                 = Some Protocol.version ->
+              Ok { fd; reader; closed = false }
+          | Ok _ | Error _ ->
+              fail (Printf.sprintf "unexpected hello frame %S" line))
+      | `Eof -> fail "connection closed before hello"
+      | `Too_long -> fail "oversized hello frame"
+      | `Error m -> fail ("reading hello: " ^ m))
+
+let connect ?timeout ~socket_path () =
+  connect_to ?timeout (Endpoint.Unix_path socket_path)
 
 let request_raw t line =
   if t.closed then Error "client is closed"
@@ -86,9 +85,10 @@ let request_obj t fields =
 
 let ping t = request_obj t [ ("op", Json.Str "ping") ]
 
-let load t ~name ~path =
+let load ?shards t ~name ~path =
   request_obj t
-    [ ("op", Json.Str "load"); ("name", Json.Str name); ("path", Json.Str path) ]
+    ([ ("op", Json.Str "load"); ("name", Json.Str name); ("path", Json.Str path) ]
+    @ match shards with Some s -> [ ("shards", Json.int s) ] | None -> [])
 
 let list_datasets t = request_obj t [ ("op", Json.Str "list") ]
 let stats t = request_obj t [ ("op", Json.Str "stats") ]

@@ -9,8 +9,12 @@
 
 type t
 
-(** [connect ~socket_path ()] connects and verifies the hello frame carries
-    {!Protocol.version}. *)
+(** [connect_to endpoint] connects to any {!Endpoint} (Unix or TCP) and
+    verifies the hello frame carries {!Protocol.version}. *)
+val connect_to : ?timeout:float -> Endpoint.t -> (t, string) result
+
+(** [connect ~socket_path ()] — {!connect_to} on a Unix endpoint (the
+    pre-TCP calling convention). *)
 val connect : ?timeout:float -> socket_path:string -> unit -> (t, string) result
 
 val close : t -> unit
@@ -30,7 +34,11 @@ val request : t -> string -> (Json.t, string) result
     Server-side failures map to [Error "server error [CODE]: message"]. *)
 
 val ping : t -> (Json.t, string) result
-val load : t -> name:string -> path:string -> (Json.t, string) result
+
+(** [load t ~name ~path] registers a dataset; [?shards] > 1 asks for the
+    scatter-gather tier (bit-identical answers, but the dataset becomes
+    static — updates answer [static_dataset]). *)
+val load : ?shards:int -> t -> name:string -> path:string -> (Json.t, string) result
 val list_datasets : t -> (Json.t, string) result
 val stats : t -> (Json.t, string) result
 val evict : t -> ?name:string -> unit -> (Json.t, string) result

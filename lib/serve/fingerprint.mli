@@ -22,3 +22,23 @@ val of_file : string -> (string, string) result
     (point-major). The in-memory analogue of {!of_string}, for callers that
     have no backing file. *)
 val of_points : Kregret_geom.Vector.t array -> string
+
+(** {1 Stat signatures}
+
+    Per-query staleness checks cannot afford to re-read the file (that is
+    O(file) on every request). A stat signature — device, inode, size,
+    mtime — is the cheap negative check: if it matches the signature taken
+    when the bytes were read, the file has not been touched and the stored
+    fingerprint still describes it. A mismatched signature proves nothing
+    by itself; callers fall back to {!of_file} for the byte-level verdict,
+    so a [touch] without a rewrite never invalidates a dataset. *)
+
+type stat_sig = { dev : int; ino : int; size : int; mtime : float }
+
+(** [sig_of_stats st] — the signature of an already-obtained [Unix.stats]
+    (use with [Unix.fstat] on the very descriptor the bytes were read
+    from, so signature and contents cannot race a concurrent rename). *)
+val sig_of_stats : Unix.stats -> stat_sig
+
+(** [sig_of_path path] — stat by path; [Error] when unreadable. *)
+val sig_of_path : string -> (stat_sig, string) result

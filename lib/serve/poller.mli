@@ -1,0 +1,64 @@
+(** The event-driven IO core of the server: one readiness loop
+    ([Unix.select]) multiplexing every listener and every connection, a
+    self-pipe for wakeups, and a small worker pool running the request
+    handler so the IO loop itself never blocks on a computation.
+
+    Shape (replacing the thread-per-connection accept loop):
+
+    - the {e IO thread} (the caller of {!run}) owns every file descriptor:
+      it accepts, reads, frames lines out of per-connection read buffers,
+      flushes per-connection write buffers, and is the only thread that
+      ever closes an fd — so the select sets can never race a close;
+    - {e workers} ([workers] threads) pop complete request lines from a
+      queue, run [handle] (which may block — registry updates do), and
+      append the response to the connection's write buffer;
+    - per connection, at most one request is in flight at a time and
+      responses are appended in dispatch order, so the protocol's strict
+      request→response ordering survives pipelining;
+    - {!stop} writes one byte to a self-pipe the select always watches —
+      no transport-specific poke (the old UDS-only self-connect), so it
+      works identically across Unix and TCP listeners;
+    - connection state lives in a table of {e live} connections only:
+      closing a connection removes its entry, so a long-lived server's
+      footprint is bounded by its concurrency, not its history.
+
+    On {!stop} the loop closes the listeners, stops reading, drains
+    in-flight requests and write buffers (bounded by [drain_timeout],
+    default 5 s, after which survivors are force-closed), joins the
+    workers and returns from {!run}. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?max_line:int ->
+  ?drain_timeout:float ->
+  ?on_accept:(unit -> unit) ->
+  listeners:Unix.file_descr list ->
+  hello:string ->
+  handle:(string -> string * bool) ->
+  too_long:(unit -> string) ->
+  unit ->
+  t
+(** [create ~listeners ~hello ~handle ~too_long ()] takes ownership of the
+    (already bound and listening, non-blocking) listener fds and spawns the
+    worker pool ([workers] threads, default 4). [hello] is written to every
+    accepted connection; [handle line] maps a request frame to
+    [(response, close_after)] and must be total; [too_long ()] is the
+    response for a frame exceeding [max_line] bytes (the connection is
+    closed after it flushes — past the limit the framing is untrusted). *)
+
+val run : t -> unit
+(** The IO loop. Blocks until {!stop}, then drains and joins the workers.
+    Call exactly once, from a dedicated thread. *)
+
+val stop : t -> unit
+(** Ask {!run} to wind down. Non-blocking, idempotent, safe from any
+    thread (including a worker inside [handle] — the [shutdown] verb). *)
+
+val live_connections : t -> int
+(** Connections currently open — the size of the live table, not a
+    historical count. *)
+
+val accepted : t -> int
+(** Total connections accepted since {!create}. *)

@@ -6,7 +6,7 @@ type request =
   | List
   | Stats
   | Shutdown
-  | Load of { name : string; path : string }
+  | Load of { name : string; path : string; shards : int option }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }
@@ -68,6 +68,19 @@ let field_point obj =
             Error (err ~code:"bad_field" "\"point\" must be an array of numbers")
           else Ok (Array.of_list coords)))
 
+let field_shards obj =
+  match Json.member "shards" obj with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_int v with
+      | Some s when s >= 1 -> Ok (Some s)
+      | Some s ->
+          Error
+            (err ~code:"bad_field"
+               (Printf.sprintf "\"shards\" must be a positive integer (got %d)" s))
+      | None ->
+          Error (err ~code:"bad_field" "\"shards\" must be a positive integer"))
+
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
 let parse_request ?(max_line = default_max_line) line =
@@ -92,7 +105,8 @@ let parse_request ?(max_line = default_max_line) line =
             | Some "load" ->
                 let* name = field_str obj "name" in
                 let* path = field_str obj "path" in
-                Ok (Load { name; path })
+                let* shards = field_shards obj in
+                Ok (Load { name; path; shards })
             | Some "query" ->
                 let* name = field_str obj "name" in
                 let* k = field_k obj in

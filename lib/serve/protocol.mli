@@ -1,6 +1,7 @@
 (** The [kregret-serve/v1] wire protocol.
 
-    Line-oriented JSON over a Unix-domain stream socket: each request and
+    Line-oriented JSON over a stream socket — Unix-domain or TCP, the
+    frames are transport-agnostic (see {!Endpoint}): each request and
     each response is exactly one JSON object on one ['\n']-terminated line.
     On connect the server sends a hello frame
     [{"ok":true,"hello":"kregret-serve/v1"}]; after that, strictly
@@ -10,6 +11,10 @@
 
     {v
       {"op":"load","name":NAME,"path":PATH}   register + build a CSV dataset
+      {"op":"load","name":NAME,"path":PATH,"shards":S}
+                                              same, scatter-gathered over S
+                                              shards (answers stay identical;
+                                              the dataset becomes static)
       {"op":"query","name":NAME,"k":K}        k-regret selection + its mrr
       {"op":"mrr","name":NAME,"k":K}          mrr only
       {"op":"list"}                           registry contents + statuses
@@ -29,7 +34,9 @@
     published. Queries never block on an in-flight update: they answer from
     the last published snapshot. Inserted points must be pre-normalized
     (finite coordinates in [(0, 1]], dimension matching the dataset) —
-    anything else is a [bad_point] error.
+    anything else is a [bad_point] error. Updates against a dataset loaded
+    with ["shards"] > 1 are rejected with [static_dataset] — the shard
+    merge has no incremental repair.
 
     Every response carries ["ok"]; failures are structured —
     [{"ok":false,"error":{"code":CODE,"message":MSG}}], optionally with a
@@ -37,7 +44,7 @@
     terminate the server. Error codes: [parse_error], [bad_request],
     [missing_field], [bad_field], [unknown_op], [frame_too_large],
     [not_found], [building], [build_failed], [load_failed],
-    [stale_dataset], [bad_point], [internal]. *)
+    [stale_dataset], [static_dataset], [bad_point], [internal]. *)
 
 val version : string
 (** ["kregret-serve/v1"]. *)
@@ -52,7 +59,7 @@ type request =
   | List
   | Stats
   | Shutdown
-  | Load of { name : string; path : string }
+  | Load of { name : string; path : string; shards : int option }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }

@@ -33,15 +33,42 @@ let c_stale =
 let g_datasets =
   Obs.Registry.gauge "serve.registry.datasets" ~help:"datasets currently registered"
 
-(* What queries read: an immutable answer snapshot plus the summary sizes,
+(* What queries read: an immutable answer backend plus the summary sizes,
    republished wholesale after every build and every applied update. The
-   live [Dynamic.t] itself is touched only by the worker thread. *)
+   live [Dynamic.t] itself is touched only by the worker thread; a
+   [Shard.t] is immutable from birth. *)
+type backend =
+  | Solo of Dynamic.Snapshot.t
+  | Sharded of Shard.t
+
 type built = {
-  snap : Dynamic.Snapshot.t;
+  backend : backend;
   n_sky : int;
   n_happy : int;
   build_seconds : float;
 }
+
+let backend_query b ~k =
+  match b with
+  | Solo s -> Dynamic.Snapshot.query s ~k
+  | Sharded sh -> Shard.query sh ~k
+
+let backend_mrr_at b ~k =
+  match b with
+  | Solo s -> Dynamic.Snapshot.mrr_at s ~k
+  | Sharded sh -> Shard.mrr_at sh ~k
+
+(* sharded datasets are static, so epoch 0 forever is honest — nothing a
+   cache keyed on it could miss *)
+let backend_epoch = function Solo s -> Dynamic.Snapshot.epoch s | Sharded _ -> 0
+
+let backend_live = function
+  | Solo s -> Dynamic.Snapshot.live s
+  | Sharded sh -> Shard.n sh
+
+let backend_stored_length = function
+  | Solo s -> Dynamic.Snapshot.stored_length s
+  | Sharded sh -> Shard.stored_length sh
 
 type status = Building | Ready of built | Failed of string
 
@@ -49,8 +76,10 @@ type info = {
   name : string;
   path : string;
   fingerprint : string;
+  stat : Fingerprint.stat_sig;
   n : int;
   d : int;
+  shards : int;
   mutated : bool;
   status : status;
 }
@@ -71,8 +100,10 @@ type entry = {
   e_name : string;
   e_path : string;
   e_fingerprint : string;
+  mutable e_stat : Fingerprint.stat_sig;  (* of the bytes behind e_fingerprint *)
+  e_shards : int;  (* 1 = solo; >1 = scatter-gather, static *)
   points : Vector.t array;  (* normalized rows, the initial id space *)
-  mutable e_dyn : Dynamic.t option;  (* worker-owned once Ready *)
+  mutable e_dyn : Dynamic.t option;  (* worker-owned once Ready (solo only) *)
   mutable e_mutated : bool;  (* diverged from the CSV via updates *)
   mutable e_status : status;
 }
@@ -105,30 +136,45 @@ let snapshot e =
     name = e.e_name;
     path = e.e_path;
     fingerprint = e.e_fingerprint;
+    stat = e.e_stat;
     n = Array.length e.points;
     d = (if Array.length e.points = 0 then 0 else Vector.dim e.points.(0));
+    shards = e.e_shards;
     mutated = e.e_mutated;
     status = e.e_status;
   }
 
-(* The full offline pipeline of the paper, materialized as a [Dynamic.t] so
-   later updates repair incrementally. Runs on the build thread; the hot
-   loops inside use the global domain pool. *)
-let build ~max_length points =
+(* The full offline pipeline of the paper. Solo: materialized as a
+   [Dynamic.t] so later updates repair incrementally. Sharded: the static
+   scatter-gather tier, no [Dynamic] behind it. Runs on the build thread;
+   the hot loops inside use the global domain pool. *)
+let build ~max_length ~shards points =
   let t0 = Unix.gettimeofday () in
   try
     Obs.Span.with_ "serve.build" (fun () ->
-        let dyn = Dynamic.create ?max_length points in
+        let dyn, backend, n_sky, n_happy =
+          if shards > 1 then begin
+            let sh = Shard.create ?max_length ~shards points in
+            (None, Sharded sh, Shard.n_sky sh, Shard.n_happy sh)
+          end
+          else begin
+            let dyn = Dynamic.create ?max_length points in
+            ( Some dyn,
+              Solo (Dynamic.snapshot dyn),
+              Dynamic.sky_size dyn,
+              Dynamic.happy_size dyn )
+          end
+        in
         let built =
           {
-            snap = Dynamic.snapshot dyn;
-            n_sky = Dynamic.sky_size dyn;
-            n_happy = Dynamic.happy_size dyn;
+            backend;
+            n_sky;
+            n_happy;
             build_seconds = Unix.gettimeofday () -. t0;
           }
         in
         Obs.Counter.incr c_builds;
-        (Some dyn, Ready built))
+        (dyn, Ready built))
   with e ->
     Obs.Counter.incr c_build_failures;
     (None, Failed (Printexc.to_string e))
@@ -173,7 +219,7 @@ let apply_update dyn op =
 
 let publish_built dyn ~build_seconds =
   {
-    snap = Dynamic.snapshot dyn;
+    backend = Solo (Dynamic.snapshot dyn);
     n_sky = Dynamic.sky_size dyn;
     n_happy = Dynamic.happy_size dyn;
     build_seconds;
@@ -190,13 +236,16 @@ let worker_loop t =
           | Some e
             when String.equal e.e_fingerprint fp
                  && (match e.e_status with Building -> true | _ -> false) ->
-              let points = e.points in
+              let points = e.points and shards = e.e_shards in
               Mutex.unlock t.mutex;
-              let dyn, status = build ~max_length:t.max_length points in
+              let dyn, status = build ~max_length:t.max_length ~shards points in
               Mutex.lock t.mutex;
-              (* the entry may have been evicted or replaced while we built *)
+              (* the entry may have been evicted or replaced while we built —
+                 including a same-bytes re-load at a different shard count,
+                 whose own Build job is still queued *)
               (match Hashtbl.find_opt t.entries name with
-              | Some e' when String.equal e'.e_fingerprint fp ->
+              | Some e' when String.equal e'.e_fingerprint fp && e'.e_shards = shards
+                ->
                   e'.e_dyn <- dyn;
                   e'.e_status <- status
               | _ -> ())
@@ -210,6 +259,16 @@ let worker_loop t =
             Condition.broadcast t.cond
           in
           match Hashtbl.find_opt t.entries u_name with
+          | Some { e_shards; _ } when e_shards > 1 ->
+              (* normally rejected at enqueue time; kept for a load that
+                 re-registered the name as sharded while the job sat queued *)
+              reply
+                (Error
+                   ( "static_dataset",
+                     Printf.sprintf
+                       "dataset %S is sharded (scatter-gather) and static; \
+                        re-load it without \"shards\" to update it"
+                       u_name ))
           | Some e
             when String.equal e.e_fingerprint u_fingerprint
                  && (match e.e_status with Ready _ -> true | _ -> false) -> (
@@ -297,7 +356,8 @@ let shutdown t =
   in
   match worker with Some w -> Thread.join w | None -> ()
 
-let load t ~name ~path =
+let load ?(shards = 1) t ~name ~path =
+  let shards = max 1 shards in
   (* one read serves both the fingerprint and the parser, so the hash always
      matches the points actually loaded (hashing and re-reading the file
      separately raced concurrent rewrites) *)
@@ -306,15 +366,21 @@ let load t ~name ~path =
       let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
+        (fun () ->
+          let c = really_input_string ic (in_channel_length ic) in
+          (* fstat the descriptor the bytes came from: the signature can
+             never describe a different file than the hash does *)
+          let st = Unix.fstat (Unix.descr_of_in_channel ic) in
+          (c, Fingerprint.sig_of_stats st))
     with
     | c -> Ok c
     | exception Sys_error m -> Error m
+    | exception Unix.Unix_error (e, _, _) -> Error (path ^ ": " ^ Unix.error_message e)
     | exception End_of_file -> Error (path ^ ": truncated read")
   in
   match contents with
   | Error m -> Error m
-  | Ok contents -> (
+  | Ok (contents, stat_sig) -> (
       let fp = Fingerprint.of_string contents in
       match
         try Ok (Dataset.normalize (Csv_io.parse_string ~name ~path contents))
@@ -330,20 +396,27 @@ let load t ~name ~path =
                 Obs.Counter.incr c_loads;
                 match Hashtbl.find_opt t.entries name with
                 | Some ({ e_status = Failed _; _ } as e)
-                  when String.equal e.e_fingerprint fp ->
+                  when String.equal e.e_fingerprint fp && e.e_shards = shards ->
                     (* same bytes, but the build failed (possibly
                        transiently): an explicit re-load retries instead of
                        parroting the stale failure forever *)
                     Obs.Counter.incr c_build_retries;
+                    e.e_stat <- stat_sig;
                     e.e_status <- Building;
                     e.e_dyn <- None;
                     Queue.push (Build (name, fp)) t.queue;
                     Condition.broadcast t.cond;
                     Ok (snapshot e)
-                | Some e when String.equal e.e_fingerprint fp ->
-                    (* unchanged bytes: keep the build (or its result) —
-                       concurrent loads of the same file are idempotent and
-                       enqueue no duplicate job *)
+                | Some e when String.equal e.e_fingerprint fp && e.e_shards = shards
+                  ->
+                    (* unchanged bytes at the same shard count: keep the
+                       build (or its result) — concurrent loads of the same
+                       file are idempotent and enqueue no duplicate job. A
+                       different shard count is a different materialization
+                       and falls through to a rebuild. The signature still
+                       refreshes: the bytes were re-verified just now, so a
+                       mere touch stops forcing re-hashes on every query. *)
+                    e.e_stat <- stat_sig;
                     Ok (snapshot e)
                 | _ ->
                     let e =
@@ -351,6 +424,8 @@ let load t ~name ~path =
                         e_name = name;
                         e_path = path;
                         e_fingerprint = fp;
+                        e_stat = stat_sig;
+                        e_shards = shards;
                         points = ds.Dataset.points;
                         e_dyn = None;
                         e_mutated = false;
@@ -374,6 +449,13 @@ let update t ~name op =
           | None ->
               Error
                 ("not_found", Printf.sprintf "dataset %S is not loaded" name)
+          | Some { e_shards; _ } when e_shards > 1 ->
+              Error
+                ( "static_dataset",
+                  Printf.sprintf
+                    "dataset %S is sharded (scatter-gather) and static; \
+                     re-load it without \"shards\" to update it"
+                    name )
           | Some { e_status = Building; _ } ->
               Error
                 ( "building",
@@ -417,12 +499,18 @@ let list t =
       Hashtbl.fold (fun _ e acc -> snapshot e :: acc) t.entries []
       |> List.sort (fun a b -> String.compare a.name b.name))
 
+(* Returns the evicted entry's fingerprint so the caller can purge exactly
+   the cache rows of the entry that was removed: fetching the fingerprint
+   with a separate [find] first raced a concurrent re-load, leaving the new
+   entry's rows purged and the dead entry's rows behind. *)
 let evict t name =
   locked t (fun () ->
-      let existed = Hashtbl.mem t.entries name in
-      Hashtbl.remove t.entries name;
-      if existed then Obs.Gauge.set_int g_datasets (Hashtbl.length t.entries);
-      existed)
+      match Hashtbl.find_opt t.entries name with
+      | None -> None
+      | Some e ->
+          Hashtbl.remove t.entries name;
+          Obs.Gauge.set_int g_datasets (Hashtbl.length t.entries);
+          Some e.e_fingerprint)
 
 let fresh _t info =
   if info.mutated then
@@ -431,6 +519,12 @@ let fresh _t info =
        next explicit re-load *)
     Ok ()
   else
+    match Fingerprint.sig_of_path info.path with
+    | Ok s when s = info.stat ->
+        (* fast path (the per-query common case): same inode, size and
+           mtime as when the bytes were hashed — nothing to re-read *)
+        Ok ()
+    | Ok _ | Error _ -> (
     match Fingerprint.of_file info.path with
     | Error m ->
         Obs.Counter.incr c_stale;
@@ -447,4 +541,4 @@ let fresh _t info =
                "dataset %S: %s changed on disk since load (loaded %s, file now \
                 hashes to %s); re-load it"
                info.name info.path info.fingerprint fp)
-        end
+        end)

@@ -39,13 +39,31 @@
     name picks up the new file contents and rebuilds (dropping any
     updates). *)
 
+(** The immutable answer state behind a [Ready] dataset. [Solo] is the
+    incremental path: a {!Kregret.Dynamic.Snapshot} republished after every
+    applied update. [Sharded] is the static scatter-gather tier
+    ({!Shard}) — bit-identical answers, no updates. *)
+type backend =
+  | Solo of Kregret.Dynamic.Snapshot.t
+  | Sharded of Shard.t
+
 type built = {
-  snap : Kregret.Dynamic.Snapshot.t;
+  backend : backend;
       (** immutable answer state: query/mrr by prefix, live count, epoch *)
   n_sky : int;  (** skyline size, for [list] *)
   n_happy : int;  (** happy-point count, for [list] *)
   build_seconds : float;  (** initial build cost (not update repair time) *)
 }
+
+(** Uniform reads over the two backends. Epoch of a [Sharded] backend is
+    always 0 — sharded datasets never change, so nothing a cache keyed on
+    it could miss. *)
+
+val backend_query : backend -> k:int -> int list * float
+val backend_mrr_at : backend -> k:int -> float
+val backend_epoch : backend -> int
+val backend_live : backend -> int
+val backend_stored_length : backend -> int
 
 type status = Building | Ready of built | Failed of string
 
@@ -53,8 +71,12 @@ type info = {
   name : string;
   path : string;
   fingerprint : string;
+  stat : Fingerprint.stat_sig;
+      (** taken by [fstat] on the descriptor the fingerprinted bytes were
+          read from — the cheap per-query freshness witness *)
   n : int;  (** rows loaded from the CSV (not updated by inserts/deletes) *)
   d : int;
+  shards : int;  (** 1 = solo; >1 = scatter-gather (static) *)
   mutated : bool;  (** diverged from the CSV via {!update} *)
   status : status;
 }
@@ -72,7 +94,8 @@ type update_outcome = {
 }
 
 (** [Error (code, message)] uses the wire error codes: [not_found],
-    [building], [build_failed], [bad_point], [internal]. *)
+    [building], [build_failed], [static_dataset], [bad_point],
+    [internal]. *)
 type update_reply = (update_outcome, string * string) result
 
 type t
@@ -89,15 +112,20 @@ val create : ?max_length:int -> unit -> t
 val shutdown : t -> unit
 
 (** [load t ~name ~path] registers (or re-registers, when the fingerprint
-    changed) a dataset and enqueues its build; returns a snapshot.
-    Re-loading an unchanged file joins the existing entry — except when its
-    build [Failed], which retries. [Error] on unreadable or malformed
-    CSV. *)
-val load : t -> name:string -> path:string -> (info, string) result
+    or shard count changed) a dataset and enqueues its build; returns a
+    snapshot. [shards > 1] builds the static scatter-gather tier
+    ({!Shard}) instead of a [Dynamic] — same answers, no updates. The
+    shard count is part of the entry's identity: re-loading an unchanged
+    file at the same count joins the existing entry (except when its build
+    [Failed], which retries); a different count rebuilds. [Error] on
+    unreadable or malformed CSV. *)
+val load :
+  ?shards:int -> t -> name:string -> path:string -> (info, string) result
 
 (** [update t ~name op] — blocking insert/delete/flush against a [Ready]
-    dataset. Points must be pre-normalized (finite, in [(0, 1]], matching
-    dimension): anything else is [Error ("bad_point", _)]. *)
+    solo dataset. Points must be pre-normalized (finite, in [(0, 1]],
+    matching dimension): anything else is [Error ("bad_point", _)].
+    Sharded datasets answer [Error ("static_dataset", _)]. *)
 val update : t -> name:string -> update_op -> update_reply
 
 val find : t -> string -> info option
@@ -105,10 +133,18 @@ val find : t -> string -> info option
 (** Name-sorted snapshots. *)
 val list : t -> info list
 
-(** [evict t name] — forget a dataset; [false] when absent. *)
-val evict : t -> string -> bool
+(** [evict t name] — forget a dataset, returning the evicted entry's
+    fingerprint ([None] when absent). Removal and fingerprint read happen
+    under one critical section, so a cache purge keyed on the result
+    targets exactly the entry that was removed — reading the fingerprint
+    with a separate {!find} first raced a concurrent re-load of the same
+    name. *)
+val evict : t -> string -> string option
 
-(** [fresh t info] — re-fingerprint [info.path] and fail when it no longer
-    matches the loaded bytes (counted as [serve.stale_rejections]).
-    Always [Ok] once [info.mutated]. *)
+(** [fresh t info] — fail when [info.path] no longer holds the loaded
+    bytes (counted as [serve.stale_rejections]). The common case is O(1):
+    a [stat] matching [info.stat] proves the file untouched; only a
+    changed signature pays for a full re-read and re-hash (so a [touch]
+    without a rewrite stays fresh, and per-query latency does not scale
+    with the file). Always [Ok] once [info.mutated]. *)
 val fresh : t -> info -> (unit, string) result

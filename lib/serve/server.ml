@@ -1,4 +1,3 @@
-module Dynamic = Kregret.Dynamic
 module Obs = Kregret_obs
 
 let c_connections =
@@ -10,47 +9,74 @@ let c_errors =
   Obs.Registry.counter "serve.errors" ~help:"requests answered with a structured error"
 
 type config = {
-  socket_path : string;
+  listeners : Endpoint.t list;
   cache_capacity : int;
   max_line : int;
   retry_after : float;
   max_length : int option;
+  workers : int;
+  shards : int;
 }
 
 let config ?(cache_capacity = 128) ?(max_line = Protocol.default_max_line)
-    ?(retry_after = 0.05) ?max_length ~socket_path () =
+    ?(retry_after = 0.05) ?max_length ?(workers = 4) ?(shards = 1)
+    ?(listeners = []) ?socket_path () =
   if cache_capacity < 0 then invalid_arg "Server.config: cache_capacity < 0";
   if max_line < 1 then invalid_arg "Server.config: max_line < 1";
-  { socket_path; cache_capacity; max_line; retry_after; max_length }
+  if workers < 1 then invalid_arg "Server.config: workers < 1";
+  if shards < 1 then invalid_arg "Server.config: shards < 1";
+  let listeners =
+    listeners
+    @ match socket_path with Some p -> [ Endpoint.Unix_path p ] | None -> []
+  in
+  if listeners = [] then
+    invalid_arg "Server.config: no listeners (pass ~listeners or ~socket_path)";
+  { listeners; cache_capacity; max_line; retry_after; max_length; workers; shards }
 
 (* cache values: one shape for both [query] (selection + mrr) and [mrr] *)
 type cached = { c_selection : int list option; c_mrr : float }
 
+(* cache/batch key: (fingerprint, shards, epoch, k, kind). The epoch is the
+   dataset's answer version, so an insert/delete invalidates by key churn —
+   stale rows age out of the LRU with no explicit flush. The shard count is
+   part of the key because the same CSV loaded solo and sharded shares a
+   fingerprint while materializing independently: without it the two
+   registrations would share (and cross-fill) cache rows. *)
+type key = string * int * int * int * string
+
 type t = {
   cfg : config;
   reg : Registry.t;
-  (* keyed by (fingerprint, epoch, k, kind): the epoch is the dataset's
-     answer version, so an insert/delete invalidates by key churn — stale
-     rows age out of the LRU with no explicit flush *)
-  cache : ((string * int * int * string), cached) Lru.t;
+  cache : (key, cached) Lru.t;
   cache_mutex : Mutex.t;
-  batcher : ((string * int * int * string), cached) Batcher.t;
-  listen_fd : Unix.file_descr;
+  batcher : (key, cached) Batcher.t;
+  resolved : Endpoint.t list;  (* as bound: tcp port 0 replaced *)
+  mutable poller : Poller.t option;  (* set before the IO thread runs *)
+  mutable io_thread : Thread.t option;
   state_mutex : Mutex.t;
-  mutable stopping : bool;
   mutable stopped : bool;
-  mutable conns : (Thread.t * Unix.file_descr) list;
-  mutable accept_thread : Thread.t option;
   mutable requests : int;
   mutable errors : int;
+  now : unit -> float;
+      (* monotonic wall clock: uptime must never go negative across an NTP
+         step (see [Kregret_obs.Control.monotonic_of]) *)
   started : float;
 }
 
 let registry t = t.reg
+let endpoints t = t.resolved
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let poller_of t = with_lock t.state_mutex (fun () -> t.poller)
+
+let live_connections t =
+  match poller_of t with Some p -> Poller.live_connections p | None -> 0
+
+let accepted_connections t =
+  match poller_of t with Some p -> Poller.accepted p | None -> 0
 
 (* ---- request handling ---------------------------------------------------- *)
 
@@ -76,6 +102,7 @@ let dataset_json info =
       ("fingerprint", Json.Str info.Registry.fingerprint);
       ("n", Json.int info.Registry.n);
       ("d", Json.int info.Registry.d);
+      ("shards", Json.int info.Registry.shards);
       ("status", Json.Str (status_str info.Registry.status));
     ]
   in
@@ -85,9 +112,10 @@ let dataset_json info =
         [
           ("sky", Json.int b.Registry.n_sky);
           ("happy", Json.int b.Registry.n_happy);
-          ("materialized", Json.int (Dynamic.Snapshot.stored_length b.Registry.snap));
-          ("live", Json.int (Dynamic.Snapshot.live b.Registry.snap));
-          ("epoch", Json.int (Dynamic.Snapshot.epoch b.Registry.snap));
+          ( "materialized",
+            Json.int (Registry.backend_stored_length b.Registry.backend) );
+          ("live", Json.int (Registry.backend_live b.Registry.backend));
+          ("epoch", Json.int (Registry.backend_epoch b.Registry.backend));
           ("mutated", Json.Bool info.Registry.mutated);
           ("build_seconds", Json.Num b.Registry.build_seconds);
         ]
@@ -96,8 +124,10 @@ let dataset_json info =
   in
   Json.Obj (base @ extra)
 
-let handle_load t ~name ~path =
-  match Registry.load t.reg ~name ~path with
+let handle_load t ~name ~path ~shards =
+  (* the wire field wins; otherwise the server-wide [--shards] default *)
+  let shards = match shards with Some s -> s | None -> t.cfg.shards in
+  match Registry.load ~shards t.reg ~name ~path with
   | Error m -> error t (Protocol.err ~code:"load_failed" m)
   | Ok info ->
       Protocol.ok_response
@@ -108,6 +138,7 @@ let handle_load t ~name ~path =
           ("fingerprint", Json.Str info.Registry.fingerprint);
           ("n", Json.int info.Registry.n);
           ("d", Json.int info.Registry.d);
+          ("shards", Json.int info.Registry.shards);
         ]
 
 (* The serving hot path. Cache first; on a miss, coalesce concurrent
@@ -135,10 +166,11 @@ let handle_query t ~name ~k ~kind =
           match Registry.fresh t.reg info with
           | Error m -> error t (Protocol.err ~code:"stale_dataset" m)
           | Ok () ->
-              let snap = b.Registry.snap in
+              let backend = b.Registry.backend in
               let key =
                 ( info.Registry.fingerprint,
-                  Dynamic.Snapshot.epoch snap,
+                  info.Registry.shards,
+                  Registry.backend_epoch backend,
                   k,
                   kind )
               in
@@ -152,7 +184,7 @@ let handle_query t ~name ~k ~kind =
                           (* ids are the registry's stable external ids: row
                              indices of the loaded CSV, then fresh ids for
                              inserts *)
-                          let ids, mrr = Dynamic.Snapshot.query snap ~k in
+                          let ids, mrr = Registry.backend_query backend ~k in
                           let v =
                             {
                               c_selection =
@@ -185,7 +217,7 @@ let handle_query t ~name ~k ~kind =
               Protocol.ok_response fields))
 
 (* insert/delete/flush: hand the op to the registry worker and block this
-   connection thread until the incremental repair is published. [building]
+   worker thread until the incremental repair is published. [building]
    gets the retry hint, like queries. *)
 let handle_update t ~name ~kind op =
   match Registry.update t.reg ~name op with
@@ -216,37 +248,47 @@ let handle_evict t ~name =
       with_lock t.cache_mutex (fun () -> Lru.clear t.cache);
       Protocol.ok_response [ ("op", Json.Str "evict"); ("cleared", Json.Str "cache") ]
   | Some name ->
-      let fp =
-        Option.map
-          (fun i -> i.Registry.fingerprint)
-          (Registry.find t.reg name)
-      in
-      let removed = Registry.evict t.reg name in
-      (* drop the dataset's cached results as well *)
-      (match fp with
+      (* eviction and cache purge key off one atomic registry removal: the
+         evict returns the fingerprint of exactly the entry it removed, so a
+         re-load racing this evict keeps its own (new) cache rows and the
+         dead entry's rows cannot survive behind a fresh fingerprint read *)
+      let evicted_fp = Registry.evict t.reg name in
+      (match evicted_fp with
       | Some fp ->
           with_lock t.cache_mutex (fun () ->
               List.iter
-                (fun ((kfp, _, _, _) as key) ->
+                (fun ((kfp, _, _, _, _) as key) ->
                   if String.equal kfp fp then ignore (Lru.remove t.cache key))
                 (Lru.keys_mru t.cache))
       | None -> ());
       Protocol.ok_response
-        [ ("op", Json.Str "evict"); ("name", Json.Str name); ("evicted", Json.Bool removed) ]
+        [
+          ("op", Json.Str "evict");
+          ("name", Json.Str name);
+          ("evicted", Json.Bool (Option.is_some evicted_fp));
+        ]
 
 let handle_stats t =
   let cs = Lru.stats t.cache in
   let requests, errors =
     with_lock t.state_mutex (fun () -> (t.requests, t.errors))
   in
+  (* one locked read: the (leaders, followers) pair counts whole events *)
+  let leaders, followers = Batcher.counts t.batcher in
   Protocol.ok_response
     [
       ("op", Json.Str "stats");
       ("proto", Json.Str Protocol.version);
-      ("uptime_seconds", Json.Num (Unix.gettimeofday () -. t.started));
+      ("uptime_seconds", Json.Num (t.now () -. t.started));
       ("requests", Json.int requests);
       ("errors", Json.int errors);
       ("datasets", Json.int (List.length (Registry.list t.reg)));
+      ( "connections",
+        Json.Obj
+          [
+            ("live", Json.int (live_connections t));
+            ("accepted", Json.int (accepted_connections t));
+          ] );
       ( "cache",
         Json.Obj
           [
@@ -259,10 +301,8 @@ let handle_stats t =
           ] );
       ( "batch",
         Json.Obj
-          [
-            ("leaders", Json.int (Batcher.leaders t.batcher));
-            ("followers", Json.int (Batcher.followers t.batcher));
-          ] );
+          [ ("leaders", Json.int leaders); ("followers", Json.int followers) ]
+      );
     ]
 
 let handle_list t =
@@ -272,28 +312,7 @@ let handle_list t =
       ("datasets", Json.Arr (List.map dataset_json (Registry.list t.reg)));
     ]
 
-let signal_stop t =
-  let first =
-    with_lock t.state_mutex (fun () ->
-        if t.stopping then false
-        else begin
-          t.stopping <- true;
-          true
-        end)
-  in
-  if first then begin
-    (* Wake a [Unix.accept]-blocked accept loop. Closing the listening fd
-       from another thread does NOT reliably interrupt a blocked [accept]
-       on Linux, so poke it with a throwaway connection instead: the loop
-       re-checks [stopping] after every accept and exits. The fd itself is
-       closed by the accept loop on its way out. *)
-    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-    | exception Unix.Unix_error _ -> ()
-    | fd ->
-        (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
-         with Unix.Unix_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ())
-  end
+let signal_stop t = match poller_of t with Some p -> Poller.stop p | None -> ()
 
 (* returns (response frame, close connection afterwards) *)
 let handle_request t line =
@@ -310,7 +329,8 @@ let handle_request t line =
         | Protocol.Shutdown ->
             signal_stop t;
             (Protocol.ok_response [ ("op", Json.Str "shutdown") ], true)
-        | Protocol.Load { name; path } -> (handle_load t ~name ~path, false)
+        | Protocol.Load { name; path; shards } ->
+            (handle_load t ~name ~path ~shards, false)
         | Protocol.Query { name; k } ->
             (handle_query t ~name ~k ~kind:"query", false)
         | Protocol.Mrr { name; k } -> (handle_query t ~name ~k ~kind:"mrr", false)
@@ -325,68 +345,7 @@ let handle_request t line =
         (* requests never take the server down *)
         (error t (Protocol.err ~code:"internal" (Printexc.to_string e)), false))
 
-(* ---- connection & accept loops ------------------------------------------- *)
-
-let handle_conn t fd =
-  let r = Protocol.reader fd in
-  (try
-     match Protocol.write_line fd Protocol.hello with
-     | Error _ -> ()
-     | Ok () ->
-         let rec loop () =
-           match Protocol.read_line r ~max:t.cfg.max_line with
-           | `Eof | `Error _ -> ()  (* truncated connections close silently *)
-           | `Too_long ->
-               (* the stream is no longer frame-aligned: answer, then close *)
-               ignore
-                 (Protocol.write_line fd
-                    (error t
-                       (Protocol.err ~code:"frame_too_large"
-                          (Printf.sprintf
-                             "frame exceeds the %d-byte limit; closing \
-                              connection"
-                             t.cfg.max_line))))
-           | `Line line ->
-               if String.trim line = "" then loop ()
-               else begin
-                 let resp, close_after = handle_request t line in
-                 match Protocol.write_line fd resp with
-                 | Error _ -> ()
-                 | Ok () -> if not close_after then loop ()
-               end
-         in
-         loop ()
-   with _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_loop t =
-  let rec loop () =
-    match Unix.accept t.listen_fd with
-    | fd, _ ->
-        let spawn =
-          with_lock t.state_mutex (fun () ->
-              if t.stopping then false
-              else begin
-                Obs.Counter.incr c_connections;
-                let th = Thread.create (fun () -> handle_conn t fd) () in
-                t.conns <- (th, fd) :: t.conns;
-                true
-              end)
-        in
-        if spawn then loop ()
-        else
-          (* stopping: this is [signal_stop]'s wakeup poke (or a late
-             client); drop it and fall through to close the listener *)
-          (try Unix.close fd with Unix.Unix_error _ -> ())
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-        if with_lock t.state_mutex (fun () -> t.stopping) then () else loop ()
-    | exception _ ->
-        (* the listening fd is unusable: stop accepting *)
-        ()
-  in
-  loop ();
-  (* the accept loop owns the listening fd *)
-  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+(* ---- lifecycle ------------------------------------------------------------ *)
 
 let temp_socket_counter = Atomic.make 0
 
@@ -400,51 +359,73 @@ let temp_socket_path () =
   (* sun_path is ~108 bytes; sandboxed TMPDIRs can blow past it *)
   if String.length candidate <= 90 then candidate else base name "/tmp"
 
+(* bind every configured endpoint or none: a partial bind closes what it
+   opened and fails the start *)
+let bind_all eps =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | ep :: rest -> (
+        match Endpoint.listen ep with
+        | Ok fd -> go ((ep, fd) :: acc) rest
+        | Error m ->
+            List.iter (fun (_, fd) -> try Unix.close fd with _ -> ()) acc;
+            Error (Printf.sprintf "%s: %s" (Endpoint.to_string ep) m))
+  in
+  go [] eps
+
 let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
-  if Sys.file_exists cfg.socket_path then (
-    try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd 64
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
-  let t =
-    {
-      cfg;
-      reg = Registry.create ?max_length:cfg.max_length ();
-      cache = Lru.create ~capacity:cfg.cache_capacity;
-      cache_mutex = Mutex.create ();
-      batcher = Batcher.create ();
-      listen_fd;
-      state_mutex = Mutex.create ();
-      stopping = false;
-      stopped = false;
-      conns = [];
-      accept_thread = None;
-      requests = 0;
-      errors = 0;
-      started = Unix.gettimeofday ();
-    }
-  in
-  t.accept_thread <- Some (Thread.create accept_loop t);
-  t
+  match bind_all cfg.listeners with
+  | Error m -> Error m
+  | Ok bound ->
+      let resolved =
+        List.map (fun (ep, fd) -> Endpoint.local_of_fd ~fd ep) bound
+      in
+      let now = Obs.Control.monotonic_of Unix.gettimeofday in
+      let t =
+        {
+          cfg;
+          reg = Registry.create ?max_length:cfg.max_length ();
+          cache = Lru.create ~capacity:cfg.cache_capacity;
+          cache_mutex = Mutex.create ();
+          batcher = Batcher.create ();
+          resolved;
+          poller = None;
+          io_thread = None;
+          state_mutex = Mutex.create ();
+          stopped = false;
+          requests = 0;
+          errors = 0;
+          now;
+          started = now ();
+        }
+      in
+      let poller =
+        Poller.create ~workers:cfg.workers ~max_line:cfg.max_line
+          ~on_accept:(fun () -> Obs.Counter.incr c_connections)
+          ~listeners:(List.map snd bound)
+          ~hello:Protocol.hello
+          ~handle:(fun line -> handle_request t line)
+          ~too_long:(fun () ->
+            error t
+              (Protocol.err ~code:"frame_too_large"
+                 (Printf.sprintf
+                    "frame exceeds the %d-byte limit; closing connection"
+                    t.cfg.max_line)))
+          ()
+      in
+      t.poller <- Some poller;
+      t.io_thread <- Some (Thread.create Poller.run poller);
+      Ok t
+
+let start_exn cfg =
+  match start cfg with Ok t -> t | Error m -> failwith ("Server.start: " ^ m)
 
 let wait t =
-  (match t.accept_thread with Some th -> Thread.join th | None -> ());
-  (* after the accept loop exits no new connection threads appear *)
-  let conns = with_lock t.state_mutex (fun () -> t.conns) in
-  (* kick idle readers out of [read] so the joins below cannot hang —
-     receive-only, so an in-flight response (e.g. the [shutdown] ack) still
-     drains; the connection thread itself owns the close *)
-  List.iter
-    (fun (_, fd) ->
-      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
-    conns;
-  List.iter (fun (th, _) -> Thread.join th) conns;
+  (match with_lock t.state_mutex (fun () -> t.io_thread) with
+  | Some th -> Thread.join th
+  | None -> ());
   let cleanup =
     with_lock t.state_mutex (fun () ->
         if t.stopped then false
@@ -455,8 +436,7 @@ let wait t =
   in
   if cleanup then begin
     Registry.shutdown t.reg;
-    if Sys.file_exists t.cfg.socket_path then (
-      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
+    List.iter Endpoint.unlink_if_unix t.resolved
   end
 
 let stop t =

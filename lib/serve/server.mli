@@ -1,61 +1,99 @@
-(** The serving loop: a Unix-domain-socket server speaking
-    {!Protocol.version}, one lightweight thread per connection, backed by
-    the dataset {!Registry} (background builds), the {!Lru} result cache
-    and the single-flight {!Batcher}.
+(** The serving loop: an event-driven server speaking {!Protocol.version}
+    over any mix of Unix-domain and TCP listeners ({!Endpoint}), backed by
+    the dataset {!Registry} (background builds, solo or sharded), the
+    {!Lru} result cache and the single-flight {!Batcher}.
+
+    Architecture (PR 8 — replacing one thread per connection): a single IO
+    thread runs a {!Poller} readiness loop over every listener and every
+    connection, framing requests out of per-connection read buffers and
+    flushing per-connection write buffers; a small worker pool runs the
+    request handler so a StoredList scan or a blocking registry update
+    never stalls accepts or other connections' IO. Shutdown wakes the loop
+    through a self-pipe, which works identically for both listener kinds.
+    Connection state is kept for {e live} connections only — a busy
+    server's footprint is bounded by its concurrency, not by how many
+    connections it has ever accepted.
 
     Design invariants (enforced by [test/test_serve.ml] and the [serve]
     oracle of the fuzzer):
 
     - a served selection/mrr is {e bit-identical} to a direct
       {!Kregret.Stored_list} prefix read on the same build — including when
-      it comes from the cache or from a coalesced batch;
+      it comes from the cache, from a coalesced batch, over TCP instead of
+      a Unix socket, or through the scatter-gather {!Shard} tier;
     - malformed input of any shape is answered with a structured error and
       never terminates the server (an oversized frame additionally closes
       that one connection, because its framing is no longer trustworthy);
     - a query against a still-building dataset returns a [building] error
-      with a [retry_after] hint instead of blocking the accept loop;
+      with a [retry_after] hint instead of blocking the IO loop;
     - a query against a dataset whose CSV changed on disk after [load] is
       rejected with [stale_dataset] (never silently served from the stale
       StoredList). *)
 
 type config = {
-  socket_path : string;
+  listeners : Endpoint.t list;  (** every endpoint to listen on *)
   cache_capacity : int;  (** {!Lru} capacity; [0] disables caching *)
   max_line : int;  (** per-frame byte limit *)
   retry_after : float;  (** seconds hint attached to [building] errors *)
   max_length : int option;  (** StoredList materialization cap ([--max-k]) *)
+  workers : int;  (** request-handler threads behind the IO loop *)
+  shards : int;  (** default shard count for [load]s that don't say *)
 }
 
-(** [config ~socket_path ()] with defaults: cache 128, 64 KiB frames,
-    [retry_after] 0.05 s, full materialization. *)
+(** [config ~listeners ()] with defaults: cache 128, 64 KiB frames,
+    [retry_after] 0.05 s, full materialization, 4 workers, solo loads.
+    [?socket_path] appends a Unix-domain listener (the pre-TCP calling
+    convention); at least one listener is required. *)
 val config :
   ?cache_capacity:int ->
   ?max_line:int ->
   ?retry_after:float ->
   ?max_length:int ->
-  socket_path:string ->
+  ?workers:int ->
+  ?shards:int ->
+  ?listeners:Endpoint.t list ->
+  ?socket_path:string ->
   unit ->
   config
 
 type t
 
-(** [start config] binds the socket (replacing a stale socket file), starts
-    the accept thread and the registry's build worker, and returns
-    immediately. Installs a [SIGPIPE] ignore handler (a client hanging up
-    mid-response must not kill the process). Raises [Unix.Unix_error] when
-    the socket cannot be bound. *)
-val start : config -> t
+(** [start config] binds every listener (replacing stale Unix socket
+    files), starts the IO thread, the worker pool and the registry's build
+    worker, and returns immediately. Installs a [SIGPIPE] ignore handler
+    (a client hanging up mid-response must not kill the process).
+    [Error] names the endpoint that failed to bind — nothing is left
+    half-bound. *)
+val start : config -> (t, string) result
+
+(** [start_exn config] — {!start}, raising [Failure] on a bind error. *)
+val start_exn : config -> t
 
 (** [registry t] — for in-process preloading ([--preload]) and tests. *)
 val registry : t -> Registry.t
 
-(** [signal_stop t] asks the accept loop to stop (what the [shutdown] verb
-    does internally). Non-blocking, idempotent. *)
+(** [endpoints t] — the listeners as actually bound: a [tcp:HOST:0]
+    request reports its kernel-assigned port. Order follows
+    [config.listeners]. *)
+val endpoints : t -> Endpoint.t list
+
+(** [live_connections t] — currently open connections (the poller's live
+    table, not a historical count). *)
+val live_connections : t -> int
+
+(** [accepted_connections t] — connections accepted since {!start}. *)
+val accepted_connections : t -> int
+
+(** [signal_stop t] asks the IO loop to stop (what the [shutdown] verb
+    does internally — one byte down the poller's self-pipe). Non-blocking,
+    idempotent. *)
 val signal_stop : t -> unit
 
 (** [wait t] blocks until the server stops (a [shutdown] request or
-    {!signal_stop}), then joins every connection thread and the build
-    worker and removes the socket file. *)
+    {!signal_stop}): the poller drains in-flight requests and write
+    buffers (force-closing stragglers after its drain timeout, so this
+    cannot hang), the workers and build worker are joined, and Unix socket
+    files are removed. *)
 val wait : t -> unit
 
 (** [stop t] — {!signal_stop} followed by {!wait}. Idempotent. *)

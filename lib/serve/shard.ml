@@ -1,0 +1,123 @@
+module Vector = Kregret_geom.Vector
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Stored_list = Kregret.Stored_list
+module Obs = Kregret_obs
+
+let c_builds =
+  Obs.Registry.counter "serve.shard.builds" ~help:"shard-tier builds completed"
+
+let c_local =
+  Obs.Registry.counter "serve.shard.local_pipelines"
+    ~help:"per-shard pipeline runs inside shard-tier builds"
+
+type local = {
+  l_n : int;
+  l_sky : int array;  (* original row ids of the local skyline *)
+  l_happy : int array;  (* original row ids of the local happy set *)
+  l_stored : Stored_list.t option;  (* over l_happy's vectors *)
+}
+
+type t = {
+  s_n : int;
+  s_locals : local array;
+  s_n_sky : int;
+  s_ids : int array;  (* coordinator list, original row ids *)
+  s_mrr : float array;  (* mrr of each coordinator prefix *)
+  s_n_happy : int;
+}
+
+(* one shard's slice of the pipeline; [off] maps chunk rows back to
+   original ids *)
+let build_local ?eps ?max_length ~off chunk =
+  Obs.Counter.incr c_local;
+  let sky_idx = Skyline.naive chunk in
+  let sky_vecs = Array.map (fun i -> chunk.(i)) sky_idx in
+  let hap_idx = Happy.happy_points ?eps sky_vecs in
+  let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
+  {
+    l_n = Array.length chunk;
+    l_sky = Array.map (fun i -> off + i) sky_idx;
+    l_happy = Array.map (fun i -> off + sky_idx.(i)) hap_idx;
+    l_stored =
+      (if Array.length hap_vecs = 0 then None
+       else Some (Stored_list.preprocess ?eps ?max_length hap_vecs));
+  }
+
+let create ?eps ?max_length ~shards points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Shard.create: empty dataset";
+  let shards = max 1 (min shards n) in
+  (* contiguous partition: chunk c covers [starts.(c), starts.(c+1)), the
+     first [n mod shards] chunks one row longer *)
+  let base = n / shards and extra = n mod shards in
+  let starts = Array.make (shards + 1) 0 in
+  for c = 0 to shards - 1 do
+    starts.(c + 1) <- starts.(c) + base + (if c < extra then 1 else 0)
+  done;
+  let locals =
+    Array.init shards (fun c ->
+        let off = starts.(c) in
+        build_local ?eps ?max_length ~off
+          (Array.sub points off (starts.(c + 1) - off)))
+  in
+  (* gather: the concatenated local skylines, in shard (= row) order *)
+  let union_ids = Array.concat (Array.to_list (Array.map (fun l -> l.l_sky) locals)) in
+  let union_vecs = Array.map (fun id -> points.(id)) union_ids in
+  let sky_idx = Skyline.naive union_vecs in
+  let sky_vecs = Array.map (fun i -> union_vecs.(i)) sky_idx in
+  let hap_idx = Happy.happy_points ?eps sky_vecs in
+  let hap_ids = Array.map (fun i -> union_ids.(sky_idx.(i))) hap_idx in
+  let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
+  let ids, mrr =
+    if Array.length hap_vecs = 0 then ([||], [||])
+    else begin
+      let stored = Stored_list.preprocess ?eps ?max_length hap_vecs in
+      let len = Stored_list.length stored in
+      let order = Array.of_list (Stored_list.order stored) in
+      ( Array.map (fun i -> hap_ids.(i)) order,
+        Array.init len (fun i -> Stored_list.mrr_at stored ~k:(i + 1)) )
+    end
+  in
+  Obs.Counter.incr c_builds;
+  {
+    s_n = n;
+    s_locals = locals;
+    s_n_sky = Array.length sky_idx;
+    s_ids = ids;
+    s_mrr = mrr;
+    s_n_happy = Array.length hap_ids;
+  }
+
+let shards t = Array.length t.s_locals
+let n t = t.s_n
+let n_sky t = t.s_n_sky
+let n_happy t = t.s_n_happy
+let stored_length t = Array.length t.s_ids
+
+let query t ~k =
+  if k < 1 then invalid_arg "Shard.query: k must be positive";
+  let len = Array.length t.s_ids in
+  if len = 0 then ([], 0.)
+  else
+    let take = min k len in
+    (Array.to_list (Array.sub t.s_ids 0 take), t.s_mrr.(take - 1))
+
+let mrr_at t ~k =
+  if k < 1 then invalid_arg "Shard.mrr_at: k must be positive";
+  let len = Array.length t.s_ids in
+  if len = 0 then 0. else t.s_mrr.(min k len - 1)
+
+let local_sizes t =
+  Array.map
+    (fun l -> (l.l_n, Array.length l.l_sky, Array.length l.l_happy))
+    t.s_locals
+
+let local_query t ~shard ~k =
+  if shard < 0 || shard >= Array.length t.s_locals then
+    invalid_arg "Shard.local_query: shard out of range";
+  if k < 1 then invalid_arg "Shard.local_query: k must be positive";
+  let l = t.s_locals.(shard) in
+  match l.l_stored with
+  | None -> []
+  | Some s -> List.map (fun i -> l.l_happy.(i)) (Stored_list.query s ~k)

@@ -214,6 +214,46 @@ let test_span_closes_on_exception () =
               check_float "duration up to the raise" 3. s.Obs.Span.seconds
           | l -> Alcotest.failf "expected one span, got %d" (List.length l)))
 
+(* a wall clock that steps backwards (NTP slew, manual reset) must not
+   surface as a decreasing reading: the monotonic wrapper holds the
+   high-water mark until real time catches back up *)
+let test_monotonic_of_backwards_clock () =
+  let t = ref 100. in
+  let clock = Obs.Control.monotonic_of (fun () -> !t) in
+  Alcotest.(check (float 0.)) "first reading" 100. (clock ());
+  t := 105.;
+  Alcotest.(check (float 0.)) "advances" 105. (clock ());
+  t := 90.;
+  Alcotest.(check (float 0.)) "backwards step held" 105. (clock ());
+  t := 104.9;
+  Alcotest.(check (float 0.)) "still held below the mark" 105. (clock ());
+  t := 106.;
+  Alcotest.(check (float 0.)) "resumes once caught up" 106. (clock ());
+  (* concurrent readers only ever see non-decreasing values *)
+  let t2 = ref 0. in
+  let clock2 = Obs.Control.monotonic_of (fun () -> !t2) in
+  let violations = Atomic.make 0 in
+  let threads =
+    Array.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            let prev = ref neg_infinity in
+            for _ = 1 to 10_000 do
+              let v = clock2 () in
+              if v < !prev then Atomic.incr violations;
+              prev := v
+            done)
+          ())
+  in
+  (* a jittery base: mostly forward, occasional steps back *)
+  for i = 1 to 1_000 do
+    t2 := float_of_int i +. if i mod 7 = 0 then -3.5 else 0.;
+    Thread.yield ()
+  done;
+  Array.iter Thread.join threads;
+  Alcotest.(check int) "no thread ever saw time go backwards" 0
+    (Atomic.get violations)
+
 let suite =
   [
     Alcotest.test_case "counters bit-identical at jobs 1/2/4" `Quick
@@ -233,4 +273,6 @@ let suite =
       test_span_tree_with_fake_clock;
     Alcotest.test_case "span: closes on exception" `Quick
       test_span_closes_on_exception;
+    Alcotest.test_case "control: monotonic wrapper survives backwards clock"
+      `Quick test_monotonic_of_backwards_clock;
   ]

@@ -66,11 +66,12 @@ let direct_answer dir ~k =
   ( List.map (fun i -> dir.dir_orig_of_happy.(i)) sel,
     Stored_list.mrr_at dir.dir_stored ~k )
 
-let with_server ?cache_capacity ?max_line ?max_length f =
+let with_server ?cache_capacity ?max_line ?max_length ?workers ?listeners f =
   let socket_path = Server.temp_socket_path () in
   let server =
-    Server.start
-      (Server.config ?cache_capacity ?max_line ?max_length ~socket_path ())
+    Server.start_exn
+      (Server.config ?cache_capacity ?max_line ?max_length ?workers ?listeners
+         ~socket_path ())
   in
   Fun.protect ~finally:(fun () -> Server.stop server) (fun () ->
       f ~socket_path server)
@@ -182,7 +183,24 @@ let test_concurrent_clients () =
           in
           if hits < 1 then
             Alcotest.failf "expected cache hits after 40 identical queries: %s"
-              (Json.to_string j)))
+              (Json.to_string j);
+          (* the batch counters are read under the batcher mutex as one
+             pair, so they can never tear: every coalesced group has
+             exactly one leader, and leaders + followers never exceeds the
+             total number of queries issued *)
+          let batch = Json.member "batch" j in
+          let bget name =
+            Option.bind (Option.bind batch (Json.member name)) Json.to_int
+            |> Option.value ~default:(-1)
+          in
+          let leaders = bget "leaders" and followers = bget "followers" in
+          Alcotest.(check bool) "batch leaders sane" true (leaders >= 0);
+          Alcotest.(check bool) "batch followers sane" true (followers >= 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "batch pair consistent (%d leaders, %d followers)"
+               leaders followers)
+            true
+            (leaders + followers <= n_threads * per_thread)))
 
 (* ---- protocol robustness -------------------------------------------------- *)
 
@@ -278,8 +296,8 @@ let test_list_stats_evict () =
               if Json.member field d0 = None then
                 Alcotest.failf "list entry missing %s: %s" field
                   (Json.to_string d0))
-            [ "name"; "path"; "fingerprint"; "n"; "d"; "sky"; "happy";
-              "materialized"; "build_seconds" ];
+            [ "name"; "path"; "fingerprint"; "n"; "d"; "shards"; "sky";
+              "happy"; "materialized"; "build_seconds" ];
           (* stats: counters move *)
           let s = or_fail "stats" (Client.stats c) in
           let geti name =
@@ -288,6 +306,15 @@ let test_list_stats_evict () =
           in
           Alcotest.(check bool) "requests counted" true (geti "requests" > 0);
           Alcotest.(check int) "datasets gauge" 1 (geti "datasets");
+          (* uptime comes from the monotonic wrapper: never negative *)
+          Alcotest.(check bool) "uptime non-negative" true
+            (match Option.bind (Json.member "uptime_seconds" s) Json.to_float with
+            | Some u -> u >= 0.
+            | None -> false);
+          Alcotest.(check bool) "live connections reported" true
+            (Option.bind (Json.member "connections" s) (Json.member "live")
+             |> Fun.flip Option.bind Json.to_int
+             |> Option.value ~default:(-1) >= 1);
           (* evict with no name clears the cache only *)
           ignore (or_fail "evict cache" (Client.evict c ()));
           let j = or_fail "query_json" (Client.query_json c ~name:"life" ~k:4) in
@@ -527,6 +554,295 @@ let test_failed_build_reload_retries () =
       (* the retry runs to its (deterministic) failure, not limbo *)
       wait_failed 500)
 
+(* ---- event-driven poller: connection lifecycle ---------------------------- *)
+
+(* the regression this guards: the old thread-per-connection server appended
+   every accepted connection to [t.conns] and never removed it, so state
+   grew with history. The poller keeps a live table only: after 10k
+   sequential connect/close cycles the table must be bounded by concurrency
+   (here: ~1), while the accepted counter records the full history. *)
+let test_connection_churn () =
+  with_server (fun ~socket_path server ->
+      let churn = 10_000 in
+      for i = 1 to churn do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        (* occasionally do a full round trip so the fds aren't all
+           hello-only; mostly just slam the door *)
+        if i mod 997 = 0 then begin
+          let b = Bytes.create 512 in
+          (* read the hello *)
+          ignore (Unix.read fd b 0 512);
+          let ping = "{\"op\":\"ping\"}\n" in
+          ignore (Unix.write_substring fd ping 0 (String.length ping));
+          ignore (Unix.read fd b 0 512)
+        end;
+        Unix.close fd
+      done;
+      (* give the sweep a beat to retire the last few closed fds *)
+      let rec settle tries =
+        if Server.live_connections server > 0 && tries > 0 then begin
+          Thread.delay 0.01;
+          settle (tries - 1)
+        end
+      in
+      settle 300;
+      Alcotest.(check bool)
+        (Printf.sprintf "accepted the full history (%d)"
+           (Server.accepted_connections server))
+        true
+        (Server.accepted_connections server >= churn);
+      let live = Server.live_connections server in
+      Alcotest.(check bool)
+        (Printf.sprintf "live table bounded by concurrency (live=%d)" live)
+        true (live <= 4);
+      (* and the server still serves *)
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "ping after churn" (Client.ping c))))
+
+(* ---- transports: UDS and TCP serve identical bytes ------------------------ *)
+
+(* one server, two listeners; the same frame script must produce
+   byte-identical response lines over both transports. The script starts
+   with [evict] so each transport sees the same cache state (cold then
+   cached). *)
+let test_transports_byte_identical () =
+  let path = write_csv ~name:"wire" ~n:120 ~d:3 ~seed:17 in
+  with_server
+    ~listeners:[ Serve.Endpoint.Tcp ("127.0.0.1", 0) ]
+    (fun ~socket_path server ->
+      with_client ~socket_path (fun c -> load_and_wait c ~name:"wire" ~path);
+      let tcp =
+        match
+          List.find_opt
+            (function Serve.Endpoint.Tcp _ -> true | _ -> false)
+            (Server.endpoints server)
+        with
+        | Some e -> e
+        | None -> Alcotest.fail "server resolved no TCP endpoint"
+      in
+      let script =
+        [
+          "{\"op\":\"evict\"}";
+          "{\"op\":\"query\",\"name\":\"wire\",\"k\":3}";
+          "{\"op\":\"query\",\"name\":\"wire\",\"k\":3}";
+          "{\"op\":\"mrr\",\"name\":\"wire\",\"k\":2}";
+          "{\"op\":\"query\",\"name\":\"wire\",\"k\":0}";
+          "not json at all";
+          "{\"op\":\"ping\"}";
+        ]
+      in
+      let run_session endpoint =
+        match Client.connect_to endpoint with
+        | Error m ->
+            Alcotest.failf "connect %s: %s" (Serve.Endpoint.to_string endpoint) m
+        | Ok c ->
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                List.map
+                  (fun frame ->
+                    or_fail
+                      (Printf.sprintf "frame %s over %s" frame
+                         (Serve.Endpoint.to_string endpoint))
+                      (Client.request_raw c frame))
+                  script)
+      in
+      let over_uds = run_session (Serve.Endpoint.Unix_path socket_path) in
+      let over_tcp = run_session tcp in
+      List.iteri
+        (fun i (u, t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "response %d byte-identical across transports" i)
+            u t)
+        (List.combine over_uds over_tcp);
+      (* the cached flag flipped within each session exactly the same way:
+         cold after evict, cached on the repeat *)
+      let cached_of line =
+        match Json.parse line with
+        | Ok j -> Option.bind (Json.member "cached" j) Json.to_bool
+        | Error _ -> None
+      in
+      Alcotest.(check (option bool))
+        "first query cold" (Some false)
+        (cached_of (List.nth over_uds 1));
+      Alcotest.(check (option bool))
+        "repeat query cached" (Some true)
+        (cached_of (List.nth over_uds 2)))
+
+(* ---- scatter-gather shard tier -------------------------------------------- *)
+
+(* over the wire: a sharded load answers bit-identically to the solo load
+   of the same CSV at every k, and reports itself static *)
+let test_shard_vs_monolithic_wire () =
+  let path = write_csv ~name:"sh" ~n:150 ~d:3 ~seed:29 in
+  let dir = direct_of_csv path in
+  let n_happy = Array.length dir.dir_happy in
+  with_server (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "load solo" (Client.load c ~name:"solo" ~path));
+          ignore
+            (or_fail "load sharded" (Client.load ~shards:4 c ~name:"quads" ~path));
+          or_fail "wait solo" (Client.wait_ready c ~name:"solo");
+          or_fail "wait sharded" (Client.wait_ready c ~name:"quads");
+          for k = 1 to n_happy do
+            let sel_s, mrr_s =
+              or_fail "solo query" (Client.query c ~name:"solo" ~k)
+            in
+            let sel_q, mrr_q =
+              or_fail "sharded query" (Client.query c ~name:"quads" ~k)
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d sharded selection == solo" k)
+              sel_s sel_q;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d sharded mrr bit-identical" k)
+              mrr_s mrr_q;
+            (* and both match the offline pipeline *)
+            let sel_ref, mrr_ref = direct_answer dir ~k in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d sharded == offline StoredList" k)
+              sel_ref sel_q;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d sharded mrr == offline" k)
+              mrr_ref mrr_q
+          done;
+          (* a sharded dataset is static: every update verb is rejected with
+             a structured code, and the dataset keeps serving afterwards *)
+          (match Client.insert c ~name:"quads" ~point:[| 0.9; 0.8; 0.7 |] with
+          | Ok _ -> Alcotest.fail "insert into a sharded dataset must fail"
+          | Error m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "static_dataset on insert (got %s)" m)
+                true
+                (Testutil.contains m "static_dataset"));
+          (match Client.delete c ~name:"quads" ~id:0 with
+          | Ok _ -> Alcotest.fail "delete on a sharded dataset must fail"
+          | Error m ->
+              Alcotest.(check bool) "static_dataset on delete" true
+                (Testutil.contains m "static_dataset"));
+          (match Client.flush c ~name:"quads" with
+          | Ok _ -> Alcotest.fail "flush on a sharded dataset must fail"
+          | Error m ->
+              Alcotest.(check bool) "static_dataset on flush" true
+                (Testutil.contains m "static_dataset"));
+          ignore (or_fail "query after rejects" (Client.query c ~name:"quads" ~k:3));
+          (* list reports the shard count on both entries *)
+          let j = or_fail "list" (Client.list_datasets c) in
+          let ds =
+            Option.bind (Json.member "datasets" j) Json.to_list
+            |> Option.value ~default:[]
+          in
+          let shards_of name =
+            List.find_opt
+              (fun d -> Option.bind (Json.member "name" d) Json.to_str = Some name)
+              ds
+            |> Fun.flip Option.bind (Json.member "shards")
+            |> Fun.flip Option.bind Json.to_int
+          in
+          Alcotest.(check (option int)) "solo shards" (Some 1) (shards_of "solo");
+          Alcotest.(check (option int)) "sharded shards" (Some 4)
+            (shards_of "quads")))
+
+(* the coordinator merge itself: for every shard count and every pool
+   width, Shard.create answers row-for-row what the monolithic pipeline
+   answers. This is the oracle form of the DESIGN §6 exactness argument. *)
+let test_shard_merge_across_jobs () =
+  let path = write_csv ~name:"merge" ~n:220 ~d:4 ~seed:71 in
+  let points = (Dataset.normalize (Csv_io.load path)).Dataset.points in
+  let dir = direct_of_csv path in
+  let n_happy = Array.length dir.dir_happy in
+  let jobs0 = Kregret_parallel.Pool.get_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Kregret_parallel.Pool.set_jobs jobs0)
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          Kregret_parallel.Pool.set_jobs jobs;
+          List.iter
+            (fun shards ->
+              let sh = Serve.Shard.create ~shards points in
+              Alcotest.(check int)
+                (Printf.sprintf "jobs=%d shards=%d union skyline size" jobs
+                   shards)
+                (Array.length (Skyline.naive points))
+                (Serve.Shard.n_sky sh);
+              for k = 1 to n_happy do
+                let sel_ref, mrr_ref = direct_answer dir ~k in
+                let sel, mrr = Serve.Shard.query sh ~k in
+                Alcotest.(check (list int))
+                  (Printf.sprintf "jobs=%d shards=%d k=%d merged selection"
+                     jobs shards k)
+                  sel_ref sel;
+                Alcotest.check exact_float
+                  (Printf.sprintf "jobs=%d shards=%d k=%d merged mrr" jobs
+                     shards k)
+                  mrr_ref mrr
+              done)
+            [ 1; 2; 3; 4; 7 ])
+        [ 1; 2; 4 ])
+
+(* ---- shutdown under load cannot hang -------------------------------------- *)
+
+let test_shutdown_under_load () =
+  let uds = Server.temp_socket_path () in
+  let server =
+    Server.start_exn
+      (Server.config
+         ~listeners:[ Serve.Endpoint.Unix_path uds; Serve.Endpoint.Tcp ("127.0.0.1", 0) ]
+         ())
+  in
+  let endpoints = Server.endpoints server in
+  let give_up = Atomic.make false in
+  (* three pingers per listener, reconnecting in a loop until the server
+     goes away *)
+  let pingers =
+    List.concat_map
+      (fun ep ->
+        List.init 3 (fun _ ->
+            Thread.create
+              (fun () ->
+                let rec go () =
+                  if not (Atomic.get give_up) then
+                    match Client.connect_to ~timeout:5. ep with
+                    | Error _ -> () (* server is gone: done *)
+                    | Ok c ->
+                        let rec pings n =
+                          if n > 0 && not (Atomic.get give_up) then
+                            match Client.ping c with
+                            | Ok _ -> pings (n - 1)
+                            | Error _ -> ()
+                        in
+                        pings 50;
+                        Client.close c;
+                        go ()
+                in
+                go ())
+              ()))
+      endpoints
+  in
+  (* let the load build up *)
+  Thread.delay 0.2;
+  let stopped = Atomic.make false in
+  let stopper =
+    Thread.create
+      (fun () ->
+        Server.stop server;
+        Atomic.set stopped true)
+      ()
+  in
+  (* watchdog: stop drains in-flight requests (5 s deadline inside the
+     poller) and must return well before this outer deadline *)
+  let deadline = Unix.gettimeofday () +. 20. in
+  while (not (Atomic.get stopped)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.05
+  done;
+  Atomic.set give_up true;
+  Alcotest.(check bool) "shutdown completed under load" true
+    (Atomic.get stopped);
+  Thread.join stopper;
+  List.iter Thread.join pingers
+
 let suite =
   [
     Alcotest.test_case "e2e: selections bit-identical for all k (cold, cached, \
@@ -554,4 +870,14 @@ let suite =
       `Quick test_concurrent_load_idempotent;
     Alcotest.test_case "registry: failed builds are retried on re-load" `Quick
       test_failed_build_reload_retries;
+    Alcotest.test_case "poller: 10k-connection churn keeps live state bounded"
+      `Slow test_connection_churn;
+    Alcotest.test_case "transports: UDS and TCP sessions are byte-identical"
+      `Quick test_transports_byte_identical;
+    Alcotest.test_case "shards: wire answers match solo load bit-for-bit, \
+                        updates rejected" `Slow test_shard_vs_monolithic_wire;
+    Alcotest.test_case "shards: merge exact across shard counts and pool \
+                        widths" `Slow test_shard_merge_across_jobs;
+    Alcotest.test_case "poller: shutdown under load cannot hang" `Quick
+      test_shutdown_under_load;
   ]
