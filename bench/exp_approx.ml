@@ -1,0 +1,139 @@
+(* The ISSUE 9 gate: ε-kernel candidate reduction vs the exact pipeline.
+
+   One synthetic family (anti-correlated, d=3 — the adversarial case for
+   skyline-based preprocessing: n grows, the skyline stays small, and the
+   exact SFS pass dominates end-to-end cost). For each n the exact
+   pipeline (SFS skyline + happy filter + StoredList materialization)
+   runs once; each ε then runs the kernel pipeline
+   (Kregret_approx.Pipeline.run) and we report
+
+   - preprocess speedup (exact seconds / approx seconds),
+   - the true mrr of both selections, evaluated by Mrr.geometric over the
+     exact skyline (max utility over D equals max utility over sky(D),
+     so the skyline is a lossless stand-in for the full data), and
+   - the certified bound the approx pipeline advertises
+     (kernel-relative mrr + net slack, capped at 1).
+
+   The section exits non-zero if any measured approx mrr exceeds its
+   certificate — that is the bound-respected assert the CI approx-smoke
+   job trips on. Numbers land in BENCH_approx.json. *)
+
+open Bench_util
+module Dataset = Kregret_dataset.Dataset
+module Generator = Kregret_dataset.Generator
+module Rng = Kregret_dataset.Rng
+module Skyline = Kregret_skyline.Skyline
+module Happy = Kregret_happy.Happy
+module Stored_list = Kregret.Stored_list
+module Mrr = Kregret.Mrr
+module Kernel = Kregret_approx.Kernel
+module Pipeline = Kregret_approx.Pipeline
+
+let approx_ns = ref [ 10_000; 100_000; 1_000_000 ]
+let approx_k = ref 10
+let approx_eps = [ 0.05; 0.1; 0.2 ]
+let approx_d = 3
+
+(* numerical headroom for the bound assert: both sides are exact
+   evaluations, but computed along different floating-point paths *)
+let bound_tol = 1e-9
+
+let run () =
+  let k = !approx_k in
+  header
+    (Printf.sprintf
+       "ISSUE 9: epsilon-kernel reduction (anti_correlated d=%d k=%d)"
+       approx_d k);
+  note "exact = SFS skyline + happy + StoredList; approx = kernel first";
+  note "mrr columns are true values over the full data (via its skyline)";
+  cells [ 9; 6; 6; 8; 10; 10; 9; 10; 10; 10; 9 ]
+    [
+      "n"; "eps"; "dirs"; "kernel"; "exact_pre"; "approx_pre"; "speedup";
+      "mrr_exact"; "mrr_apx"; "cert"; "ok";
+    ];
+  let rows = ref [] in
+  let violations = ref 0 in
+  List.iter
+    (fun n ->
+      let full =
+        Generator.by_name "anti_correlated" (Rng.create bench_seed) ~n
+          ~d:approx_d
+      in
+      let points = full.Dataset.points in
+      (* exact pipeline, once per n, shared by every eps *)
+      let (sky, happy_pts, exact_stored), t_exact =
+        time_median (fun () ->
+            let sky = Skyline.of_dataset full in
+            let happy_idx = Happy.happy_points sky.Dataset.points in
+            let happy_pts =
+              Array.map (fun i -> sky.Dataset.points.(i)) happy_idx
+            in
+            (sky, happy_pts, Stored_list.preprocess happy_pts))
+      in
+      let sky_list = Array.to_list sky.Dataset.points in
+      let exact_sel =
+        List.map (fun i -> happy_pts.(i)) (Stored_list.query exact_stored ~k)
+      in
+      let mrr_exact = Mrr.geometric ~data:sky_list ~selected:exact_sel in
+      List.iter
+        (fun eps ->
+          let p, t_approx = time_median (fun () -> Pipeline.run ~eps points) in
+          let sel_ids, _ = Pipeline.query p ~k in
+          let approx_sel = List.map (fun i -> points.(i)) sel_ids in
+          let mrr_approx =
+            if approx_sel = [] then 1.
+            else Mrr.geometric ~data:sky_list ~selected:approx_sel
+          in
+          let cert = Pipeline.certified_bound p ~k in
+          let ok = mrr_approx <= cert +. bound_tol in
+          if not ok then incr violations;
+          let r = p.Pipeline.reduction in
+          let kernel_size = Array.length r.Kernel.ids in
+          let speedup = t_exact /. Float.max 1e-9 t_approx in
+          cells [ 9; 6; 6; 8; 10; 10; 9; 10; 10; 10; 9 ]
+            [
+              string_of_int n;
+              Printf.sprintf "%.2f" eps;
+              string_of_int r.Kernel.directions;
+              Printf.sprintf "%d" kernel_size;
+              seconds t_exact;
+              seconds t_approx;
+              Printf.sprintf "%.1fx" speedup;
+              Printf.sprintf "%.5f" mrr_exact;
+              Printf.sprintf "%.5f" mrr_approx;
+              Printf.sprintf "%.5f" cert;
+              (if ok then "yes" else "VIOLATED");
+            ];
+          rows :=
+            [
+              ("n", Int n);
+              ("eps", Float eps);
+              ("resolution", Int r.Kernel.resolution);
+              ("directions", Int r.Kernel.directions);
+              ("kernel_size", Int kernel_size);
+              ("skyline_size", Int (Dataset.size sky));
+              ("exact_preprocess_seconds", Float t_exact);
+              ("approx_preprocess_seconds", Float t_approx);
+              ("speedup", Float speedup);
+              ("mrr_exact", Float mrr_exact);
+              ("mrr_approx", Float mrr_approx);
+              ("mrr_error_vs_exact", Float (mrr_approx -. mrr_exact));
+              ("advertised_slack", Float r.Kernel.slack);
+              ("certified_bound", Float cert);
+              ("within_bound", Bool ok);
+            ]
+            :: !rows)
+        approx_eps)
+    !approx_ns;
+  emit_json ~id:"approx"
+    ~extra:
+      [
+        ("dist", String "anti_correlated");
+        ("d", Int approx_d);
+        ("k", Int k);
+      ]
+    (List.rev !rows);
+  if !violations > 0 then begin
+    Fmt.epr "exp_approx: %d certified-bound violation(s)@." !violations;
+    exit 1
+  end

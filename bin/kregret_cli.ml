@@ -78,6 +78,45 @@ let apply_jobs = function
   | None -> ()
   | Some j -> Kregret_parallel.Pool.set_jobs j
 
+(* ---- ε-kernel pre-reduction --------------------------------------------- *)
+
+module Kernel = Kregret_approx.Kernel
+
+(* Validated at parse time, same policy as --jobs. *)
+let approx_conv =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some e when Float.is_finite e && e > 0. && e <= 1. -> Ok e
+    | Some e -> Error (`Msg (Printf.sprintf "EPS must be in (0, 1] (got %g)" e))
+    | None -> Error (`Msg (Printf.sprintf "EPS must be a number, got %S" s))
+  in
+  Arg.conv ~docv:"EPS" (parse, Format.pp_print_float)
+
+let approx_arg =
+  Arg.(
+    value
+    & opt (some approx_conv) None
+    & info [ "approx" ] ~docv:"EPS"
+        ~doc:
+          "ε-kernel pre-reduction: before the candidate filters, keep only \
+           the per-direction maxima of a direction net whose worst-case \
+           regret slack is at most $(docv) (a number in (0, 1]). Shrinks \
+           preprocessing dramatically at the price of approximate answers \
+           with a certified additive regret bound.")
+
+(* Reduce [ds] to its ε-kernel; identity when --approx was not given. The
+   kernel line goes to stderr so CSV-emitting subcommands stay clean. *)
+let apply_approx approx ds =
+  match approx with
+  | None -> ds
+  | Some eps ->
+      let r, t = timed (fun () -> Kernel.reduce ~eps ds.Dataset.points) in
+      Fmt.epr
+        "approx    eps=%g m=%d dirs=%d kernel=%d/%d slack<=%.4f (%.3fs)@."
+        r.Kernel.eps r.Kernel.resolution r.Kernel.directions
+        (Array.length r.Kernel.ids) r.Kernel.n_input r.Kernel.slack t;
+      Dataset.sub ds ~indices:r.Kernel.ids
+
 (* ---- observability ------------------------------------------------------- *)
 
 module Obs = Kregret_obs
@@ -152,10 +191,11 @@ let gen_cmd =
 (* ---- stats --------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run file dist n d seed with_conv summary jobs obs = wrap @@ fun () ->
+  let run file dist n d seed approx with_conv summary jobs obs =
+    wrap @@ fun () ->
     with_obs obs @@ fun () ->
     apply_jobs jobs;
-    let ds = load_or_generate file dist n d seed in
+    let ds = apply_approx approx (load_or_generate file dist n d seed) in
     if summary then Fmt.pr "%a@." Kregret_dataset.Stats.pp_summary ds;
     let sky, t_sky =
       timed (fun () -> Obs.Span.with_ "cli.skyline" (fun () -> Skyline.of_dataset ds))
@@ -191,7 +231,7 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Candidate-set statistics (Table III)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ with_conv $ summary $ jobs_arg $ obs_term)
+      $ approx_arg $ with_conv $ summary $ jobs_arg $ obs_term)
 
 (* ---- query ---------------------------------------------------------------- *)
 
@@ -219,15 +259,16 @@ let candidates_arg =
     & info [ "candidates"; "c" ] ~docv:"SET" ~doc:"Candidate set: all | sky | happy.")
 
 let query_cmd =
-  let run file dist n d seed k algorithm candidates verbose vertex_cap jobs obs
-      =
+  let run file dist n d seed k approx algorithm candidates verbose vertex_cap
+      jobs obs =
     wrap @@ fun () ->
     with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
     let cand, t_pre =
       timed (fun () ->
-          Obs.Span.with_ "cli.preprocess" (fun () -> Query.reduce ds candidates))
+          Obs.Span.with_ "cli.preprocess" (fun () ->
+              Query.reduce (apply_approx approx ds) candidates))
     in
     let result, t_query =
       match (algorithm, vertex_cap) with
@@ -256,6 +297,15 @@ let query_cmd =
     Fmt.pr "candidates=%d  preprocess=%.3fs  query=%.3fs  total=%.3fs@."
       (Dataset.size cand) t_pre t_query (t_pre +. t_query);
     Fmt.pr "maximum regret ratio = %.6f@." result.Query.mrr;
+    (match approx with
+    | Some eps ->
+        (* mrr above is relative to the kernel; add the net's slack for a
+           bound that holds against the full dataset *)
+        let slack = Kernel.slack_for ~d:ds.Dataset.dim ~eps in
+        Fmt.pr "certified bound vs full data <= %.6f (kernel mrr + %.4f slack)@."
+          (Float.min 1. (result.Query.mrr +. slack))
+          slack
+    | None -> ());
     if verbose then
       List.iteri
         (fun rank p ->
@@ -273,18 +323,20 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Answer a k-regret query")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg $ k_arg
-      $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap $ jobs_arg
-      $ obs_term)
+      $ approx_arg $ algorithm_arg $ candidates_arg $ verbose $ vertex_cap
+      $ jobs_arg $ obs_term)
 
 (* ---- sweep ----------------------------------------------------------------- *)
 
 let sweep_cmd =
-  let run file dist n d seed algorithm candidates ks output jobs obs =
+  let run file dist n d seed approx algorithm candidates ks output jobs obs =
     wrap @@ fun () ->
     with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
-    let cand, t_pre = timed (fun () -> Query.reduce ds candidates) in
+    let cand, t_pre =
+      timed (fun () -> Query.reduce (apply_approx approx ds) candidates)
+    in
     let emit out =
       Printf.fprintf out "# %s on %s of %s; candidates=%d preprocess=%.4f\n"
         (Query.algorithm_name algorithm)
@@ -321,16 +373,20 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run a k-sweep and emit CSV (one row per k)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ algorithm_arg $ candidates_arg $ ks $ output $ jobs_arg $ obs_term)
+      $ approx_arg $ algorithm_arg $ candidates_arg $ ks $ output $ jobs_arg
+      $ obs_term)
 
 (* ---- materialize ------------------------------------------------------------ *)
 
 let materialize_cmd =
-  let run file dist n d seed list_path max_length jobs obs = wrap @@ fun () ->
+  let run file dist n d seed approx list_path max_length jobs obs =
+    wrap @@ fun () ->
     with_obs obs @@ fun () ->
     apply_jobs jobs;
     let ds = load_or_generate file dist n d seed in
-    let happy, t_pre = timed (fun () -> Query.reduce ds Query.Happy) in
+    let happy, t_pre =
+      timed (fun () -> Query.reduce (apply_approx approx ds) Query.Happy)
+    in
     let points = happy.Dataset.points in
     let sl, t_build =
       timed (fun () -> Kregret.Stored_list.preprocess ?max_length points)
@@ -357,7 +413,7 @@ let materialize_cmd =
        ~doc:"Precompute a StoredList for a dataset (Section IV-B preprocessing)")
     Term.(
       const run $ file_arg $ dist_arg $ n_arg 10_000 $ d_arg $ seed_arg
-      $ list_path $ max_length $ jobs_arg $ obs_term)
+      $ approx_arg $ list_path $ max_length $ jobs_arg $ obs_term)
 
 (* ---- query-list -------------------------------------------------------------- *)
 

@@ -128,13 +128,23 @@ let jobs_arg =
 let check_arg =
   Arg.(
     value
-    & opt (enum [ ("all", Oracle.All); ("dynamic", Oracle.Dynamic_only) ]) Oracle.All
+    & opt
+        (enum
+           [
+             ("all", Oracle.All);
+             ("dynamic", Oracle.Dynamic_only);
+             ("approx", Oracle.Approx_only);
+           ])
+        Oracle.All
     & info [ "check" ] ~docv:"SUITE"
         ~doc:
           "Which oracle suite to run per instance: $(b,all) (every \
-           differential check, including the dynamic-maintenance oracle) or \
-           $(b,dynamic) (only the fuzzed insert/delete/query interleavings \
-           against the rebuild-from-scratch pipeline).")
+           differential check, including the dynamic-maintenance and \
+           approximation oracles), $(b,dynamic) (only the fuzzed \
+           insert/delete/query interleavings against the \
+           rebuild-from-scratch pipeline), or $(b,approx) (only the \
+           ε-kernel checks: kernel structure, certified regret bound, \
+           ε-monotonicity, pool-width and shard-tier bit-identity).")
 
 let metrics_arg =
   Arg.(

@@ -52,9 +52,11 @@ let frame_of_command = function
             ("name", Serve.Json.Str name);
             ("path", Serve.Json.Str path);
           ])
-  | [ "load"; name; path; shards ] -> (
-      match int_of_string_opt shards with
-      | Some s ->
+  | [ "load"; name; path; third ] -> (
+      (* an integer third word is a shard count, a non-integer float is an
+         ε-kernel approximation bound *)
+      match (int_of_string_opt third, float_of_string_opt third) with
+      | Some s, _ ->
           Ok
             (`Send
               [
@@ -63,9 +65,36 @@ let frame_of_command = function
                 ("path", Serve.Json.Str path);
                 ("shards", Serve.Json.int s);
               ])
-      | None ->
+      | None, Some e ->
+          Ok
+            (`Send
+              [
+                ("op", Serve.Json.Str "load");
+                ("name", Serve.Json.Str name);
+                ("path", Serve.Json.Str path);
+                ("approx", Serve.Json.Num e);
+              ])
+      | None, None ->
           Error
-            (Printf.sprintf "load: SHARDS must be an integer, got %S" shards))
+            (Printf.sprintf
+               "load: expected an integer SHARDS or a float EPS, got %S" third))
+  | [ "load"; name; path; shards; eps ] -> (
+      match (int_of_string_opt shards, float_of_string_opt eps) with
+      | Some s, Some e ->
+          Ok
+            (`Send
+              [
+                ("op", Serve.Json.Str "load");
+                ("name", Serve.Json.Str name);
+                ("path", Serve.Json.Str path);
+                ("shards", Serve.Json.int s);
+                ("approx", Serve.Json.Num e);
+              ])
+      | None, _ ->
+          Error
+            (Printf.sprintf "load: SHARDS must be an integer, got %S" shards)
+      | _, None ->
+          Error (Printf.sprintf "load: EPS must be a float, got %S" eps))
   | [ "wait"; name ] -> Ok (`Wait name)
   | [ "flush"; name ] ->
       Ok
@@ -115,9 +144,9 @@ let frame_of_command = function
       Error
         (Printf.sprintf
            "unknown command %S (expected: ping | list | stats | shutdown | \
-            evict [NAME] | load NAME PATH [SHARDS] | query NAME K | mrr NAME K | \
-            insert NAME P1,P2,.. | delete NAME ID | flush NAME | wait NAME, \
-            or a raw JSON frame)"
+            evict [NAME] | load NAME PATH [SHARDS] [EPS] | query NAME K | \
+            mrr NAME K | insert NAME P1,P2,.. | delete NAME ID | flush NAME | \
+            wait NAME, or a raw JSON frame)"
            (String.concat " " cmd))
 
 (* Group the positional words into commands: a word starting with '{' is a
@@ -134,11 +163,16 @@ let rec group_commands = function
         | "query" | "mrr" -> Ok 2
         | "insert" | "delete" -> Ok 2
         | "load" ->
-            (* NAME PATH plus a greedy optional SHARDS when the next word
-               is an integer (paths are never bare integers in practice) *)
+            (* NAME PATH plus a greedy optional SHARDS (integer) and/or EPS
+               (float) — paths are never bare numbers in practice *)
             Ok
               (match rest with
-              | _ :: _ :: third :: _ when int_of_string_opt third <> None -> 3
+              | _ :: _ :: third :: fourth :: _
+                when int_of_string_opt third <> None
+                     && float_of_string_opt fourth <> None ->
+                  4
+              | _ :: _ :: third :: _ when float_of_string_opt third <> None ->
+                  3
               | _ -> 2)
         | "evict" ->
             (* greedy 1-arg unless the next word is a verb or raw frame *)
@@ -235,7 +269,7 @@ let parse_preload spec =
   | _ -> Error (Printf.sprintf "--preload expects NAME=PATH, got %S" spec)
 
 let run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
-    ~shards ~preload ~quiet () =
+    ~shards ~approx ~preload ~quiet () =
   let preloads =
     List.map
       (fun spec ->
@@ -248,7 +282,7 @@ let run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
   in
   let config =
     Serve.Server.config ~cache_capacity:cache_size ~max_line ~retry_after
-      ?max_length:max_k ~workers ~shards ~listeners ()
+      ?max_length:max_k ~workers ~shards ~approx ~listeners ()
   in
   match Serve.Server.start config with
   | Error m ->
@@ -264,7 +298,7 @@ let run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
       let preload_failed = ref false in
       List.iter
         (fun (name, path) ->
-          match Serve.Registry.load ~shards registry ~name ~path with
+          match Serve.Registry.load ~shards ~approx registry ~name ~path with
           | Ok _ -> if not quiet then Fmt.epr "preloading %s (%s)@." name path
           | Error m ->
               preload_failed := true;
@@ -290,7 +324,7 @@ let run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
 (* ---- cmdliner ------------------------------------------------------------ *)
 
 let run client socket listen connect timeout cache_size max_line retry_after
-    max_k workers shards preload jobs quiet obs commands =
+    max_k workers shards approx preload jobs quiet obs commands =
   with_obs obs @@ fun () ->
   Pool.set_jobs jobs;
   let parse_endpoint spec =
@@ -318,7 +352,7 @@ let run client socket listen connect timeout cache_size max_line retry_after
       | specs -> List.map parse_endpoint specs
     in
     run_server ~listeners ~cache_size ~max_line ~retry_after ~max_k ~workers
-      ~shards ~preload ~quiet ()
+      ~shards ~approx ~preload ~quiet ()
 
 let socket_arg =
   Arg.(
@@ -363,6 +397,18 @@ let shards_arg =
            scatter-gathers the build across $(docv) contiguous partitions \
            (answers stay bit-identical; sharded datasets are static). A \
            per-load $(i,shards) field on the wire overrides this.")
+
+let approx_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "approx" ] ~docv:"EPS"
+        ~doc:
+          "Default ε-kernel bound for dataset loads: with $(docv) > 0 each \
+           load first reduces the data to the per-direction maxima of a \
+           direction net with worst-case regret slack at most $(docv) — \
+           answers become approximate with a certified additive bound, and \
+           approximate datasets are static. A per-load $(i,approx) field on \
+           the wire overrides this. 0 (the default) keeps loads exact.")
 
 let client_arg =
   Arg.(
@@ -460,11 +506,12 @@ let commands_arg =
     & info [] ~docv:"COMMAND"
         ~doc:
           "Client-mode commands: $(b,ping), $(b,list), $(b,stats), \
-           $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH [SHARDS], \
-           $(b,query) \
+           $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH [SHARDS] \
+           [EPS], $(b,query) \
            NAME K, $(b,mrr) NAME K, $(b,insert) NAME P1,P2,.., $(b,delete) \
            NAME ID, $(b,flush) NAME, $(b,wait) NAME, or a raw JSON frame \
-           (anything starting with '{').")
+           (anything starting with '{'). A bare numeric third word after \
+           $(b,load) is SHARDS when an integer, EPS when a float.")
 
 let cmd =
   let doc = "serve k-regret queries from precomputed StoredLists" in
@@ -486,7 +533,11 @@ let cmd =
          multiplexed by one event-driven IO thread with a $(b,--workers) \
          handler pool. Loads with $(i,shards) > 1 build through the \
          scatter-gather shard tier (lib/serve/shard.mli) — identical \
-         answers, static datasets.";
+         answers, static datasets. Loads with $(i,approx) = ε > 0 reduce the \
+         data to an ε-kernel first (lib/approx/kernel.mli): much faster \
+         builds, answers carry a certified additive regret bound, and exact \
+         and approximate answers for the same file never share a cache \
+         entry.";
       `S Manpage.s_examples;
       `Pre
         "  kregret_serve --listen unix:/tmp/kr.sock --listen \
@@ -503,7 +554,7 @@ let cmd =
     Term.(
       const run $ client_arg $ socket_arg $ listen_arg $ connect_arg
       $ timeout_arg $ cache_arg $ max_line_arg $ retry_after_arg $ max_k_arg
-      $ workers_arg $ shards_arg $ preload_arg $ jobs_arg $ quiet_arg
-      $ obs_term $ commands_arg)
+      $ workers_arg $ shards_arg $ approx_arg $ preload_arg $ jobs_arg
+      $ quiet_arg $ obs_term $ commands_arg)
 
 let () = exit (Cmd.eval' cmd)

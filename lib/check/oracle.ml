@@ -11,7 +11,7 @@ module Optimal2d = Kregret.Optimal2d
 module Mrr = Kregret.Mrr
 module Invariants = Kregret.Invariants
 
-type suite = All | Dynamic_only
+type suite = All | Dynamic_only | Approx_only
 
 type config = { samples : int; jobs_hi : int; suite : suite }
 
@@ -38,6 +38,11 @@ let check_names =
     "serve";
     "serve-protocol";
     "dynamic";
+    "approx-kernel";
+    "approx-bound";
+    "approx-monotone";
+    "approx-jobs";
+    "approx-shards";
     "exception";
   ]
 
@@ -207,23 +212,31 @@ let check_inner cfg inst =
          opt.Optimal2d.order)
   end;
 
-  (* pool-width invariance: the determinism contract of DESIGN.md §10 *)
+  (* pool-width invariance: the determinism contract of DESIGN.md §10.
+     Besides [jobs_hi], an oversubscribed width past
+     [Domain.recommended_domain_count ()] exercises the pool's
+     oversubscription cap (PR 5's inline fallback), which test_parallel.ml
+     covers but the fuzzer previously never drove end to end. *)
   if cfg.jobs_hi > 1 then begin
-    let r2 = with_jobs cfg.jobs_hi (fun () -> pipeline_run ~samples:cfg.samples inst) in
-    let jmsg what =
-      Printf.sprintf "%s differs between jobs=1 and jobs=%d" what cfg.jobs_hi
-    in
-    if r2.sky_idx <> r1.sky_idx then record "jobs-invariance" [ jmsg "skyline" ];
-    if r2.happy_idx <> r1.happy_idx then
-      record "jobs-invariance" [ jmsg "happy set" ];
-    if r2.geo.Geo_greedy.order <> geo.Geo_greedy.order then
-      record "jobs-invariance" [ jmsg "GeoGreedy order" ];
-    if not (Float.equal r2.geo.Geo_greedy.mrr geo.Geo_greedy.mrr) then
-      record "jobs-invariance" [ jmsg "GeoGreedy mrr" ];
-    if r2.geo.Geo_greedy.rescans <> geo.Geo_greedy.rescans then
-      record "jobs-invariance" [ jmsg "GeoGreedy rescan count" ];
-    if not (Float.equal r2.sampled r1.sampled) then
-      record "jobs-invariance" [ jmsg "sampled mrr" ]
+    let capped = Domain.recommended_domain_count () + 2 in
+    List.iter
+      (fun jobs ->
+        let r2 = with_jobs jobs (fun () -> pipeline_run ~samples:cfg.samples inst) in
+        let jmsg what =
+          Printf.sprintf "%s differs between jobs=1 and jobs=%d" what jobs
+        in
+        if r2.sky_idx <> r1.sky_idx then record "jobs-invariance" [ jmsg "skyline" ];
+        if r2.happy_idx <> r1.happy_idx then
+          record "jobs-invariance" [ jmsg "happy set" ];
+        if r2.geo.Geo_greedy.order <> geo.Geo_greedy.order then
+          record "jobs-invariance" [ jmsg "GeoGreedy order" ];
+        if not (Float.equal r2.geo.Geo_greedy.mrr geo.Geo_greedy.mrr) then
+          record "jobs-invariance" [ jmsg "GeoGreedy mrr" ];
+        if r2.geo.Geo_greedy.rescans <> geo.Geo_greedy.rescans then
+          record "jobs-invariance" [ jmsg "GeoGreedy rescan count" ];
+        if not (Float.equal r2.sampled r1.sampled) then
+          record "jobs-invariance" [ jmsg "sampled mrr" ])
+      (List.sort_uniq compare [ cfg.jobs_hi; capped ])
   end;
 
   (* shard-merge: the scatter-gather tier is exact — the coordinator's
@@ -298,16 +311,23 @@ let check_inner cfg inst =
     (with_jobs 1 (fun () -> Serve_oracle.check inst));
   !failures
 
-(* the dynamic oracle manages its own pool widths — not wrapped *)
+(* the dynamic and approx oracles manage their own pool widths — not
+   wrapped *)
 let check_dynamic cfg inst =
   List.map
     (fun (check, message) -> { check; message })
     (Dynamic_oracle.check ~jobs_hi:cfg.jobs_hi inst)
 
+let check_approx cfg inst =
+  List.map
+    (fun (check, message) -> { check; message })
+    (Approx_oracle.check ~jobs_hi:cfg.jobs_hi inst)
+
 let check_suite cfg inst =
   match cfg.suite with
   | Dynamic_only -> check_dynamic cfg inst
-  | All -> check_inner cfg inst @ check_dynamic cfg inst
+  | Approx_only -> check_approx cfg inst
+  | All -> check_inner cfg inst @ check_dynamic cfg inst @ check_approx cfg inst
 
 module Obs = Kregret_obs
 

@@ -21,8 +21,10 @@
     - [optimal2d] — at [d = 2] the exact DP never loses to either greedy,
       and its reported optimum is achieved by its reported selection;
     - [jobs-invariance] — skyline, happy set, GeoGreedy trajectory and the
-      Monte-Carlo estimate are bit-identical at pool widths 1 and
-      [jobs_hi];
+      Monte-Carlo estimate are bit-identical at pool widths 1, [jobs_hi]
+      and an oversubscribed width past
+      [Domain.recommended_domain_count ()] (driving the pool's
+      oversubscription cap end to end);
     - [shard-merge] — the scatter-gather shard tier
       ({!Kregret_serve.Shard}) answers row-for-row and bit-for-bit what
       the monolithic naive→happy→StoredList pipeline answers, at every
@@ -35,13 +37,19 @@
       {!Kregret.Dynamic} answers bit-identically to rebuilding the static
       pipeline from scratch after every mutation, at pool widths
       [{1, 2, 4, jobs_hi}] (see {!Dynamic_oracle});
+    - [approx-kernel] / [approx-bound] / [approx-monotone] /
+      [approx-jobs] / [approx-shards] — the ε-kernel approximation tier:
+      kernel structure and per-direction maxima, the certified regret
+      bound, ε-monotonicity, pool-width bit-identity and shard-tier
+      equivalence (see {!Approx_oracle});
     - [exception] — no component raised.
 
     All tie comparisons go through {!Tolerance.tie}. *)
 
-(** Which checks to run: the full battery, or only the dynamic-maintenance
-    oracle (the [--check dynamic] fast path of [kregret_fuzz]). *)
-type suite = All | Dynamic_only
+(** Which checks to run: the full battery, only the dynamic-maintenance
+    oracle, or only the approximation oracle (the [--check dynamic] /
+    [--check approx] fast paths of [kregret_fuzz]). *)
+type suite = All | Dynamic_only | Approx_only
 
 type config = {
   samples : int;  (** Monte-Carlo budget for the sampled-bound check *)

@@ -10,6 +10,23 @@ let remove_block points ~off ~len =
   let n = Array.length points in
   Array.init (n - len) (fun i -> if i < off then points.(i) else points.(i + len))
 
+(* Exact-duplicate rows (first occurrence kept). Grid snapping (pass 4)
+   collapses many points onto the same coordinates; for tie-rule and
+   ε-bound failures the duplicates are pure noise, and dropping them all
+   at once converges far faster than block deletion can. *)
+let dedup_points points =
+  let seen = Hashtbl.create 64 in
+  let keep =
+    Array.to_list points
+    |> List.filter (fun p ->
+           if Hashtbl.mem seen p then false
+           else begin
+             Hashtbl.add seen p ();
+             true
+           end)
+  in
+  Array.of_list keep
+
 let shrink ?(max_attempts = 400) ~fails inst =
   let attempts = ref 0 in
   let steps = ref 0 in
@@ -61,6 +78,19 @@ let shrink ?(max_attempts = 400) ~fails inst =
         done;
         block := !block / 2
       done;
+      (* 1b. drop exact duplicate points in one shot *)
+      if budget_left () then begin
+        let deduped = dedup_points !current.Instance.points in
+        if
+          Array.length deduped >= 1
+          && Array.length deduped < Instance.n !current
+        then
+          match try_ (Instance.with_points !current deduped) with
+          | Some c ->
+              current := accept !current c;
+              progress := true
+          | None -> ()
+      end;
       (* 2. project out dimensions (keep d >= 2) *)
       let dim = ref 0 in
       while !dim < Instance.d !current && Instance.d !current > 2 && budget_left () do

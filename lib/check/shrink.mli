@@ -2,9 +2,16 @@
 
     Given an instance on which a predicate fails, greedily search for a
     smaller one that still fails: drop contiguous blocks of points
-    (ddmin-style, halving block sizes), project out whole dimensions,
-    reduce [k], and snap coordinates to a coarse grid. Deterministic — the
-    same failing instance always shrinks to the same repro.
+    (ddmin-style, halving block sizes), drop exact duplicate rows in one
+    shot, project out whole dimensions, reduce [k], and snap coordinates
+    to a coarse grid. Deterministic — the same failing instance always
+    shrinks to the same repro.
+
+    The duplicate-drop pass exists for the ε-kernel checks: grid
+    snapping collapses points onto identical coordinates, and tie-rule
+    or ε-bound violations survive deduplication far more often than any
+    particular block deletion, so repros for those checks converge to a
+    handful of distinct rows.
 
     The predicate is usually "the oracle still reports a failure of the
     same check" (see {!Fuzzer}), so shrinking cannot wander from one bug to

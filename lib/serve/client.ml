@@ -85,10 +85,11 @@ let request_obj t fields =
 
 let ping t = request_obj t [ ("op", Json.Str "ping") ]
 
-let load ?shards t ~name ~path =
+let load ?shards ?approx t ~name ~path =
   request_obj t
     ([ ("op", Json.Str "load"); ("name", Json.Str name); ("path", Json.Str path) ]
-    @ match shards with Some s -> [ ("shards", Json.int s) ] | None -> [])
+    @ (match shards with Some s -> [ ("shards", Json.int s) ] | None -> [])
+    @ match approx with Some e -> [ ("approx", Json.Num e) ] | None -> [])
 
 let list_datasets t = request_obj t [ ("op", Json.Str "list") ]
 let stats t = request_obj t [ ("op", Json.Str "stats") ]

@@ -6,7 +6,12 @@ type request =
   | List
   | Stats
   | Shutdown
-  | Load of { name : string; path : string; shards : int option }
+  | Load of {
+      name : string;
+      path : string;
+      shards : int option;
+      approx : float option;
+    }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }
@@ -81,6 +86,16 @@ let field_shards obj =
       | None ->
           Error (err ~code:"bad_field" "\"shards\" must be a positive integer"))
 
+let field_approx obj =
+  match Json.member "approx" obj with
+  | None -> Ok None
+  | Some v -> (
+      match Json.to_float v with
+      | Some a when Float.is_finite a && a > 0. && a <= 1. -> Ok (Some a)
+      | Some _ | None ->
+          Error
+            (err ~code:"bad_field" "\"approx\" must be a number in (0, 1]"))
+
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
 
 let parse_request ?(max_line = default_max_line) line =
@@ -106,7 +121,8 @@ let parse_request ?(max_line = default_max_line) line =
                 let* name = field_str obj "name" in
                 let* path = field_str obj "path" in
                 let* shards = field_shards obj in
-                Ok (Load { name; path; shards })
+                let* approx = field_approx obj in
+                Ok (Load { name; path; shards; approx })
             | Some "query" ->
                 let* name = field_str obj "name" in
                 let* k = field_k obj in

@@ -15,6 +15,12 @@
                                               same, scatter-gathered over S
                                               shards (answers stay identical;
                                               the dataset becomes static)
+      {"op":"load","name":NAME,"path":PATH,"approx":EPS}
+                                              same, through the ε-kernel
+                                              reduction (answers carry a
+                                              certified regret bound; the
+                                              dataset becomes static);
+                                              composes with "shards"
       {"op":"query","name":NAME,"k":K}        k-regret selection + its mrr
       {"op":"mrr","name":NAME,"k":K}          mrr only
       {"op":"list"}                           registry contents + statuses
@@ -35,8 +41,9 @@
     the last published snapshot. Inserted points must be pre-normalized
     (finite coordinates in [(0, 1]], dimension matching the dataset) —
     anything else is a [bad_point] error. Updates against a dataset loaded
-    with ["shards"] > 1 are rejected with [static_dataset] — the shard
-    merge has no incremental repair.
+    with ["shards"] > 1 or ["approx"] are rejected with [static_dataset] —
+    neither the shard merge nor the kernel reduction has an incremental
+    repair.
 
     Every response carries ["ok"]; failures are structured —
     [{"ok":false,"error":{"code":CODE,"message":MSG}}], optionally with a
@@ -59,7 +66,12 @@ type request =
   | List
   | Stats
   | Shutdown
-  | Load of { name : string; path : string; shards : int option }
+  | Load of {
+      name : string;
+      path : string;
+      shards : int option;
+      approx : float option;
+    }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
   | Evict of { name : string option }

@@ -80,6 +80,7 @@ type info = {
   n : int;
   d : int;
   shards : int;
+  approx : float;
   mutated : bool;
   status : status;
 }
@@ -102,6 +103,7 @@ type entry = {
   e_fingerprint : string;
   mutable e_stat : Fingerprint.stat_sig;  (* of the bytes behind e_fingerprint *)
   e_shards : int;  (* 1 = solo; >1 = scatter-gather, static *)
+  e_approx : float;  (* 0. = exact; >0. = ε-kernel tier, static *)
   points : Vector.t array;  (* normalized rows, the initial id space *)
   mutable e_dyn : Dynamic.t option;  (* worker-owned once Ready (solo only) *)
   mutable e_mutated : bool;  (* diverged from the CSV via updates *)
@@ -140,21 +142,44 @@ let snapshot e =
     n = Array.length e.points;
     d = (if Array.length e.points = 0 then 0 else Vector.dim e.points.(0));
     shards = e.e_shards;
+    approx = e.e_approx;
     mutated = e.e_mutated;
     status = e.e_status;
   }
+
+(* shard tiers and ε-kernel tiers are both static materializations with
+   no incremental repair; updates against them are rejected with the
+   [static_dataset] wire error *)
+let static_reason ~shards ~approx name =
+  if shards > 1 then
+    Some
+      (Printf.sprintf
+         "dataset %S is sharded (scatter-gather) and static; re-load it \
+          without \"shards\" to update it"
+         name)
+  else if approx > 0. then
+    Some
+      (Printf.sprintf
+         "dataset %S is an ε-kernel approximation and static; re-load it \
+          without \"approx\" to update it"
+         name)
+  else None
 
 (* The full offline pipeline of the paper. Solo: materialized as a
    [Dynamic.t] so later updates repair incrementally. Sharded: the static
    scatter-gather tier, no [Dynamic] behind it. Runs on the build thread;
    the hot loops inside use the global domain pool. *)
-let build ~max_length ~shards points =
+let build ~max_length ~shards ~approx points =
   let t0 = Unix.gettimeofday () in
   try
     Obs.Span.with_ "serve.build" (fun () ->
         let dyn, backend, n_sky, n_happy =
-          if shards > 1 then begin
-            let sh = Shard.create ?max_length ~shards points in
+          if shards > 1 || approx > 0. then begin
+            let sh =
+              Shard.create ?max_length
+                ?approx:(if approx > 0. then Some approx else None)
+                ~shards points
+            in
             (None, Sharded sh, Shard.n_sky sh, Shard.n_happy sh)
           end
           else begin
@@ -236,16 +261,22 @@ let worker_loop t =
           | Some e
             when String.equal e.e_fingerprint fp
                  && (match e.e_status with Building -> true | _ -> false) ->
-              let points = e.points and shards = e.e_shards in
+              let points = e.points
+              and shards = e.e_shards
+              and approx = e.e_approx in
               Mutex.unlock t.mutex;
-              let dyn, status = build ~max_length:t.max_length ~shards points in
+              let dyn, status =
+                build ~max_length:t.max_length ~shards ~approx points
+              in
               Mutex.lock t.mutex;
               (* the entry may have been evicted or replaced while we built —
-                 including a same-bytes re-load at a different shard count,
-                 whose own Build job is still queued *)
+                 including a same-bytes re-load at a different shard count or
+                 ε, whose own Build job is still queued *)
               (match Hashtbl.find_opt t.entries name with
-              | Some e' when String.equal e'.e_fingerprint fp && e'.e_shards = shards
-                ->
+              | Some e'
+                when String.equal e'.e_fingerprint fp
+                     && e'.e_shards = shards
+                     && Float.equal e'.e_approx approx ->
                   e'.e_dyn <- dyn;
                   e'.e_status <- status
               | _ -> ())
@@ -259,16 +290,17 @@ let worker_loop t =
             Condition.broadcast t.cond
           in
           match Hashtbl.find_opt t.entries u_name with
-          | Some { e_shards; _ } when e_shards > 1 ->
+          | Some { e_shards; e_approx; _ }
+            when static_reason ~shards:e_shards ~approx:e_approx u_name
+                 <> None ->
               (* normally rejected at enqueue time; kept for a load that
-                 re-registered the name as sharded while the job sat queued *)
+                 re-registered the name as static while the job sat queued *)
               reply
                 (Error
                    ( "static_dataset",
-                     Printf.sprintf
-                       "dataset %S is sharded (scatter-gather) and static; \
-                        re-load it without \"shards\" to update it"
-                       u_name ))
+                     Option.get
+                       (static_reason ~shards:e_shards ~approx:e_approx u_name)
+                   ))
           | Some e
             when String.equal e.e_fingerprint u_fingerprint
                  && (match e.e_status with Ready _ -> true | _ -> false) -> (
@@ -356,8 +388,9 @@ let shutdown t =
   in
   match worker with Some w -> Thread.join w | None -> ()
 
-let load ?(shards = 1) t ~name ~path =
+let load ?(shards = 1) ?(approx = 0.) t ~name ~path =
   let shards = max 1 shards in
+  let approx = if approx > 0. then approx else 0. in
   (* one read serves both the fingerprint and the parser, so the hash always
      matches the points actually loaded (hashing and re-reading the file
      separately raced concurrent rewrites) *)
@@ -396,7 +429,9 @@ let load ?(shards = 1) t ~name ~path =
                 Obs.Counter.incr c_loads;
                 match Hashtbl.find_opt t.entries name with
                 | Some ({ e_status = Failed _; _ } as e)
-                  when String.equal e.e_fingerprint fp && e.e_shards = shards ->
+                  when String.equal e.e_fingerprint fp
+                       && e.e_shards = shards
+                       && Float.equal e.e_approx approx ->
                     (* same bytes, but the build failed (possibly
                        transiently): an explicit re-load retries instead of
                        parroting the stale failure forever *)
@@ -407,15 +442,18 @@ let load ?(shards = 1) t ~name ~path =
                     Queue.push (Build (name, fp)) t.queue;
                     Condition.broadcast t.cond;
                     Ok (snapshot e)
-                | Some e when String.equal e.e_fingerprint fp && e.e_shards = shards
-                  ->
-                    (* unchanged bytes at the same shard count: keep the
-                       build (or its result) — concurrent loads of the same
-                       file are idempotent and enqueue no duplicate job. A
-                       different shard count is a different materialization
-                       and falls through to a rebuild. The signature still
-                       refreshes: the bytes were re-verified just now, so a
-                       mere touch stops forcing re-hashes on every query. *)
+                | Some e
+                  when String.equal e.e_fingerprint fp
+                       && e.e_shards = shards
+                       && Float.equal e.e_approx approx ->
+                    (* unchanged bytes at the same shard count and ε: keep
+                       the build (or its result) — concurrent loads of the
+                       same file are idempotent and enqueue no duplicate
+                       job. A different shard count or ε is a different
+                       materialization and falls through to a rebuild. The
+                       signature still refreshes: the bytes were re-verified
+                       just now, so a mere touch stops forcing re-hashes on
+                       every query. *)
                     e.e_stat <- stat_sig;
                     Ok (snapshot e)
                 | _ ->
@@ -426,6 +464,7 @@ let load ?(shards = 1) t ~name ~path =
                         e_fingerprint = fp;
                         e_stat = stat_sig;
                         e_shards = shards;
+                        e_approx = approx;
                         points = ds.Dataset.points;
                         e_dyn = None;
                         e_mutated = false;
@@ -449,13 +488,13 @@ let update t ~name op =
           | None ->
               Error
                 ("not_found", Printf.sprintf "dataset %S is not loaded" name)
-          | Some { e_shards; _ } when e_shards > 1 ->
+          | Some { e_shards; e_approx; _ }
+            when static_reason ~shards:e_shards ~approx:e_approx name <> None
+            ->
               Error
                 ( "static_dataset",
-                  Printf.sprintf
-                    "dataset %S is sharded (scatter-gather) and static; \
-                     re-load it without \"shards\" to update it"
-                    name )
+                  Option.get
+                    (static_reason ~shards:e_shards ~approx:e_approx name) )
           | Some { e_status = Building; _ } ->
               Error
                 ( "building",

@@ -77,6 +77,9 @@ type info = {
   n : int;  (** rows loaded from the CSV (not updated by inserts/deletes) *)
   d : int;
   shards : int;  (** 1 = solo; >1 = scatter-gather (static) *)
+  approx : float;
+      (** ε of the ε-kernel tier; [0.] = exact. Approximate datasets are
+          static, like sharded ones. *)
   mutated : bool;  (** diverged from the CSV via {!update} *)
   status : status;
 }
@@ -111,21 +114,30 @@ val create : ?max_length:int -> unit -> t
     error, never left hanging). Idempotent. *)
 val shutdown : t -> unit
 
-(** [load t ~name ~path] registers (or re-registers, when the fingerprint
-    or shard count changed) a dataset and enqueues its build; returns a
-    snapshot. [shards > 1] builds the static scatter-gather tier
-    ({!Shard}) instead of a [Dynamic] — same answers, no updates. The
-    shard count is part of the entry's identity: re-loading an unchanged
-    file at the same count joins the existing entry (except when its build
-    [Failed], which retries); a different count rebuilds. [Error] on
-    unreadable or malformed CSV. *)
+(** [load t ~name ~path] registers (or re-registers, when the
+    fingerprint, shard count or ε changed) a dataset and enqueues its
+    build; returns a snapshot. [shards > 1] builds the static
+    scatter-gather tier ({!Shard}) instead of a [Dynamic] — same answers,
+    no updates. [approx > 0.] builds the static ε-kernel tier (the shard
+    tier with per-chunk kernels — see {!Shard}); exact and approximate
+    materializations of the same bytes are {e distinct} entries. Both
+    the shard count and ε are part of the entry's identity: re-loading an
+    unchanged file at the same [(shards, approx)] joins the existing
+    entry (except when its build [Failed], which retries); a different
+    count or ε rebuilds. [Error] on unreadable or malformed CSV. *)
 val load :
-  ?shards:int -> t -> name:string -> path:string -> (info, string) result
+  ?shards:int ->
+  ?approx:float ->
+  t ->
+  name:string ->
+  path:string ->
+  (info, string) result
 
 (** [update t ~name op] — blocking insert/delete/flush against a [Ready]
     solo dataset. Points must be pre-normalized (finite, in [(0, 1]],
     matching dimension): anything else is [Error ("bad_point", _)].
-    Sharded datasets answer [Error ("static_dataset", _)]. *)
+    Sharded and approximate datasets answer
+    [Error ("static_dataset", _)]. *)
 val update : t -> name:string -> update_op -> update_reply
 
 val find : t -> string -> info option

@@ -16,33 +16,47 @@ type config = {
   max_length : int option;
   workers : int;
   shards : int;
+  approx : float;  (* server-wide default ε for [load]; 0. = exact *)
 }
 
 let config ?(cache_capacity = 128) ?(max_line = Protocol.default_max_line)
     ?(retry_after = 0.05) ?max_length ?(workers = 4) ?(shards = 1)
-    ?(listeners = []) ?socket_path () =
+    ?(approx = 0.) ?(listeners = []) ?socket_path () =
   if cache_capacity < 0 then invalid_arg "Server.config: cache_capacity < 0";
   if max_line < 1 then invalid_arg "Server.config: max_line < 1";
   if workers < 1 then invalid_arg "Server.config: workers < 1";
   if shards < 1 then invalid_arg "Server.config: shards < 1";
+  if (not (Float.is_finite approx)) || approx < 0. || approx > 1. then
+    invalid_arg "Server.config: approx must be in [0, 1]";
   let listeners =
     listeners
     @ match socket_path with Some p -> [ Endpoint.Unix_path p ] | None -> []
   in
   if listeners = [] then
     invalid_arg "Server.config: no listeners (pass ~listeners or ~socket_path)";
-  { listeners; cache_capacity; max_line; retry_after; max_length; workers; shards }
+  {
+    listeners;
+    cache_capacity;
+    max_line;
+    retry_after;
+    max_length;
+    workers;
+    shards;
+    approx;
+  }
 
 (* cache values: one shape for both [query] (selection + mrr) and [mrr] *)
 type cached = { c_selection : int list option; c_mrr : float }
 
-(* cache/batch key: (fingerprint, shards, epoch, k, kind). The epoch is the
-   dataset's answer version, so an insert/delete invalidates by key churn —
-   stale rows age out of the LRU with no explicit flush. The shard count is
-   part of the key because the same CSV loaded solo and sharded shares a
-   fingerprint while materializing independently: without it the two
-   registrations would share (and cross-fill) cache rows. *)
-type key = string * int * int * int * string
+(* cache/batch key: (fingerprint, shards, approx, epoch, k, kind). The
+   epoch is the dataset's answer version, so an insert/delete invalidates
+   by key churn — stale rows age out of the LRU with no explicit flush.
+   The shard count and ε are part of the key because the same CSV loaded
+   solo, sharded, exact or approximate shares a fingerprint while
+   materializing independently: without them the registrations would
+   share (and cross-fill) cache rows — approx and exact answers must
+   never collide (the PR 4 cross-k lesson, one key dimension later). *)
+type key = string * int * float * int * int * string
 
 type t = {
   cfg : config;
@@ -103,6 +117,7 @@ let dataset_json info =
       ("n", Json.int info.Registry.n);
       ("d", Json.int info.Registry.d);
       ("shards", Json.int info.Registry.shards);
+      ("approx", Json.Num info.Registry.approx);
       ("status", Json.Str (status_str info.Registry.status));
     ]
   in
@@ -124,10 +139,12 @@ let dataset_json info =
   in
   Json.Obj (base @ extra)
 
-let handle_load t ~name ~path ~shards =
-  (* the wire field wins; otherwise the server-wide [--shards] default *)
+let handle_load t ~name ~path ~shards ~approx =
+  (* the wire fields win; otherwise the server-wide [--shards]/[--approx]
+     defaults *)
   let shards = match shards with Some s -> s | None -> t.cfg.shards in
-  match Registry.load ~shards t.reg ~name ~path with
+  let approx = match approx with Some a -> a | None -> t.cfg.approx in
+  match Registry.load ~shards ~approx t.reg ~name ~path with
   | Error m -> error t (Protocol.err ~code:"load_failed" m)
   | Ok info ->
       Protocol.ok_response
@@ -139,6 +156,7 @@ let handle_load t ~name ~path ~shards =
           ("n", Json.int info.Registry.n);
           ("d", Json.int info.Registry.d);
           ("shards", Json.int info.Registry.shards);
+          ("approx", Json.Num info.Registry.approx);
         ]
 
 (* The serving hot path. Cache first; on a miss, coalesce concurrent
@@ -170,6 +188,7 @@ let handle_query t ~name ~k ~kind =
               let key =
                 ( info.Registry.fingerprint,
                   info.Registry.shards,
+                  info.Registry.approx,
                   Registry.backend_epoch backend,
                   k,
                   kind )
@@ -257,7 +276,7 @@ let handle_evict t ~name =
       | Some fp ->
           with_lock t.cache_mutex (fun () ->
               List.iter
-                (fun ((kfp, _, _, _, _) as key) ->
+                (fun ((kfp, _, _, _, _, _) as key) ->
                   if String.equal kfp fp then ignore (Lru.remove t.cache key))
                 (Lru.keys_mru t.cache))
       | None -> ());
@@ -329,8 +348,8 @@ let handle_request t line =
         | Protocol.Shutdown ->
             signal_stop t;
             (Protocol.ok_response [ ("op", Json.Str "shutdown") ], true)
-        | Protocol.Load { name; path; shards } ->
-            (handle_load t ~name ~path ~shards, false)
+        | Protocol.Load { name; path; shards; approx } ->
+            (handle_load t ~name ~path ~shards ~approx, false)
         | Protocol.Query { name; k } ->
             (handle_query t ~name ~k ~kind:"query", false)
         | Protocol.Mrr { name; k } -> (handle_query t ~name ~k ~kind:"mrr", false)

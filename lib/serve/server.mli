@@ -38,12 +38,15 @@ type config = {
   max_length : int option;  (** StoredList materialization cap ([--max-k]) *)
   workers : int;  (** request-handler threads behind the IO loop *)
   shards : int;  (** default shard count for [load]s that don't say *)
+  approx : float;
+      (** default ε-kernel resolution for [load]s that don't say;
+          [0.] = exact *)
 }
 
 (** [config ~listeners ()] with defaults: cache 128, 64 KiB frames,
-    [retry_after] 0.05 s, full materialization, 4 workers, solo loads.
-    [?socket_path] appends a Unix-domain listener (the pre-TCP calling
-    convention); at least one listener is required. *)
+    [retry_after] 0.05 s, full materialization, 4 workers, solo exact
+    loads. [?socket_path] appends a Unix-domain listener (the pre-TCP
+    calling convention); at least one listener is required. *)
 val config :
   ?cache_capacity:int ->
   ?max_line:int ->
@@ -51,6 +54,7 @@ val config :
   ?max_length:int ->
   ?workers:int ->
   ?shards:int ->
+  ?approx:float ->
   ?listeners:Endpoint.t list ->
   ?socket_path:string ->
   unit ->

@@ -2,6 +2,7 @@ module Vector = Kregret_geom.Vector
 module Skyline = Kregret_skyline.Skyline
 module Happy = Kregret_happy.Happy
 module Stored_list = Kregret.Stored_list
+module Kernel = Kregret_approx.Kernel
 module Obs = Kregret_obs
 
 let c_builds =
@@ -13,7 +14,9 @@ let c_local =
 
 type local = {
   l_n : int;
-  l_sky : int array;  (* original row ids of the local skyline *)
+  l_sky : int array;
+      (* original row ids of the local scatter surface: the local skyline,
+         or the local ε-kernel in approx mode *)
   l_happy : int array;  (* original row ids of the local happy set *)
   l_stored : Stored_list.t option;  (* over l_happy's vectors *)
 }
@@ -25,26 +28,48 @@ type t = {
   s_ids : int array;  (* coordinator list, original row ids *)
   s_mrr : float array;  (* mrr of each coordinator prefix *)
   s_n_happy : int;
+  s_approx : float;  (* requested ε; 0. = exact *)
+  s_kernel : int;  (* global kernel size; 0 = exact *)
 }
 
 (* one shard's slice of the pipeline; [off] maps chunk rows back to
-   original ids *)
-let build_local ?eps ?max_length ~off chunk =
+   original ids. In approx mode the scatter surface is the chunk's
+   ε-kernel instead of its skyline, and the local serving pipeline runs
+   on the kernel rows. *)
+let build_local ?eps ?max_length ?approx ~off chunk =
   Obs.Counter.incr c_local;
-  let sky_idx = Skyline.naive chunk in
-  let sky_vecs = Array.map (fun i -> chunk.(i)) sky_idx in
-  let hap_idx = Happy.happy_points ?eps sky_vecs in
-  let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
-  {
-    l_n = Array.length chunk;
-    l_sky = Array.map (fun i -> off + i) sky_idx;
-    l_happy = Array.map (fun i -> off + sky_idx.(i)) hap_idx;
-    l_stored =
-      (if Array.length hap_vecs = 0 then None
-       else Some (Stored_list.preprocess ?eps ?max_length hap_vecs));
-  }
+  match approx with
+  | None ->
+      let sky_idx = Skyline.naive chunk in
+      let sky_vecs = Array.map (fun i -> chunk.(i)) sky_idx in
+      let hap_idx = Happy.happy_points ?eps sky_vecs in
+      let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
+      {
+        l_n = Array.length chunk;
+        l_sky = Array.map (fun i -> off + i) sky_idx;
+        l_happy = Array.map (fun i -> off + sky_idx.(i)) hap_idx;
+        l_stored =
+          (if Array.length hap_vecs = 0 then None
+           else Some (Stored_list.preprocess ?eps ?max_length hap_vecs));
+      }
+  | Some a ->
+      let red = Kernel.reduce ~eps:a chunk in
+      let ker_idx = red.Kernel.ids in
+      let ker_vecs = Array.map (fun i -> chunk.(i)) ker_idx in
+      let sky_idx = Skyline.naive ker_vecs in
+      let sky_vecs = Array.map (fun i -> ker_vecs.(i)) sky_idx in
+      let hap_idx = Happy.happy_points ?eps sky_vecs in
+      let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
+      {
+        l_n = Array.length chunk;
+        l_sky = Array.map (fun i -> off + i) ker_idx;
+        l_happy = Array.map (fun i -> off + ker_idx.(sky_idx.(i))) hap_idx;
+        l_stored =
+          (if Array.length hap_vecs = 0 then None
+           else Some (Stored_list.preprocess ?eps ?max_length hap_vecs));
+      }
 
-let create ?eps ?max_length ~shards points =
+let create ?eps ?max_length ?approx ~shards points =
   let n = Array.length points in
   if n = 0 then invalid_arg "Shard.create: empty dataset";
   let shards = max 1 (min shards n) in
@@ -58,16 +83,31 @@ let create ?eps ?max_length ~shards points =
   let locals =
     Array.init shards (fun c ->
         let off = starts.(c) in
-        build_local ?eps ?max_length ~off
+        build_local ?eps ?max_length ?approx ~off
           (Array.sub points off (starts.(c + 1) - off)))
   in
-  (* gather: the concatenated local skylines, in shard (= row) order *)
+  (* gather: the concatenated local scatter surfaces, in shard (= row)
+     order — ascending original ids, since shards are contiguous and
+     each local surface is sorted *)
   let union_ids = Array.concat (Array.to_list (Array.map (fun l -> l.l_sky) locals)) in
   let union_vecs = Array.map (fun id -> points.(id)) union_ids in
-  let sky_idx = Skyline.naive union_vecs in
-  let sky_vecs = Array.map (fun i -> union_vecs.(i)) sky_idx in
+  (* approx: rescan the union so the merged kernel is exactly the
+     ε-kernel of the whole dataset. Per direction the global winner
+     (smallest-id maximizer) wins its own shard's scan, so it is in the
+     union, and a first-wins scan over the ascending-id union picks it
+     again — merged = solo, bit for bit, for every shard count. *)
+  let gather_ids, gather_vecs, kernel_size =
+    match approx with
+    | None -> (union_ids, union_vecs, 0)
+    | Some a ->
+        let red = Kernel.reduce ~eps:a ~ids:union_ids union_vecs in
+        let k_ids = red.Kernel.ids in
+        (k_ids, Array.map (fun id -> points.(id)) k_ids, Array.length k_ids)
+  in
+  let sky_idx = Skyline.naive gather_vecs in
+  let sky_vecs = Array.map (fun i -> gather_vecs.(i)) sky_idx in
   let hap_idx = Happy.happy_points ?eps sky_vecs in
-  let hap_ids = Array.map (fun i -> union_ids.(sky_idx.(i))) hap_idx in
+  let hap_ids = Array.map (fun i -> gather_ids.(sky_idx.(i))) hap_idx in
   let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
   let ids, mrr =
     if Array.length hap_vecs = 0 then ([||], [||])
@@ -87,6 +127,8 @@ let create ?eps ?max_length ~shards points =
     s_ids = ids;
     s_mrr = mrr;
     s_n_happy = Array.length hap_ids;
+    s_approx = (match approx with None -> 0. | Some a -> a);
+    s_kernel = kernel_size;
   }
 
 let shards t = Array.length t.s_locals
@@ -94,6 +136,8 @@ let n t = t.s_n
 let n_sky t = t.s_n_sky
 let n_happy t = t.s_n_happy
 let stored_length t = Array.length t.s_ids
+let approx t = t.s_approx
+let kernel_size t = t.s_kernel
 
 let query t ~k =
   if k < 1 then invalid_arg "Shard.query: k must be positive";

@@ -26,6 +26,18 @@
     the happy screen and GeoGreedy materialization then run on identical
     arrays — equality is inherited bit-for-bit, at every pool width.
 
+    {b Approximation.} With [?approx] set to an ε, the scatter surface
+    becomes each chunk's ε-kernel ({!Kregret_approx.Kernel}) instead of
+    its skyline, and the coordinator {e rescans} the concatenated local
+    kernels with the same net before the happy screen. The rescan makes
+    the merge exact in the approximate world: per net direction, the
+    global winner (the smallest-id maximizer) also wins its own shard's
+    scan, so it survives into the union, and a first-wins scan over the
+    ascending-id union elects it again — the merged kernel equals the
+    whole-dataset kernel row for row, so the downstream pipeline (and
+    therefore every answer) is bit-identical to
+    {!Kregret_approx.Pipeline.run} at every shard count and pool width.
+
     Sharded datasets are static: there is no incremental repair across the
     merge (the server answers updates on them with [static_dataset]). *)
 
@@ -34,15 +46,17 @@ type t
 val create :
   ?eps:float ->
   ?max_length:int ->
+  ?approx:float ->
   shards:int ->
   Kregret_geom.Vector.t array ->
   t
 (** Build the shard tier over normalized rows. [shards] is clamped to
     [1 .. n]; [eps]/[max_length] are threaded to every local pipeline and
     to the coordinator exactly as {!Kregret.Dynamic.create} would thread
-    them. Runs on the calling thread (shards build sequentially — the
-    parallelism lives inside each pipeline stage's pool use, so answers
-    are independent of the pool width). *)
+    them. [approx] switches the scatter surface to per-chunk ε-kernels
+    (see above). Runs on the calling thread (shards build sequentially —
+    the parallelism lives inside each pipeline stage's pool use, so
+    answers are independent of the pool width). *)
 
 val shards : t -> int
 (** The actual shard count after clamping. *)
@@ -58,6 +72,13 @@ val n_happy : t -> int
 
 val stored_length : t -> int
 (** Materialized coordinator list length. *)
+
+val approx : t -> float
+(** The ε this tier was built with; [0.] for the exact tier. *)
+
+val kernel_size : t -> int
+(** Rows in the merged (= whole-dataset) ε-kernel; [0] for the exact
+    tier. *)
 
 val query : t -> k:int -> int list * float
 (** First [k] coordinator entries as original row ids, with the prefix's

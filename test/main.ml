@@ -33,6 +33,7 @@ let () =
       ("csv-io", Test_csv_io.suite);
       ("dynamic", Test_dynamic.suite);
       ("check", Test_check.suite);
+      ("approx", Test_approx.suite);
       ("obs", Test_obs.suite);
       ("lru", Test_lru.suite);
       ("serve", Test_serve.suite);

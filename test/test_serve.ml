@@ -843,6 +843,101 @@ let test_shutdown_under_load () =
   Thread.join stopper;
   List.iter Thread.join pingers
 
+(* ε-kernel loads over the wire: served answers are bit-identical to the
+   offline approx pipeline, the dataset is static, and exact vs approx
+   loads of the same file never collide in the result cache (the cache key
+   carries the approx field — the probe below would serve the wrong bits
+   at any shared k if it didn't). *)
+let test_approx_load_end_to_end () =
+  let path = write_csv ~name:"apx" ~n:200 ~d:3 ~seed:41 in
+  let eps = 0.2 in
+  let points = (Dataset.normalize (Csv_io.load path)).Dataset.points in
+  let p = Kregret_approx.Pipeline.run ~eps points in
+  let dir = direct_of_csv path in
+  let len_apx = Kregret_approx.Pipeline.stored_length p in
+  let len_exact = Stored_list.length dir.dir_stored in
+  with_server ~cache_capacity:64 (fun ~socket_path _server ->
+      with_client ~socket_path (fun c ->
+          ignore (or_fail "load exact" (Client.load c ~name:"exact" ~path));
+          ignore
+            (or_fail "load approx" (Client.load ~approx:eps c ~name:"apx" ~path));
+          or_fail "wait exact" (Client.wait_ready c ~name:"exact");
+          or_fail "wait approx" (Client.wait_ready c ~name:"apx");
+          (* cold pass: each name answers its own offline pipeline *)
+          for k = 1 to min len_apx len_exact do
+            let sel_a, mrr_a = or_fail "approx query" (Client.query c ~name:"apx" ~k) in
+            let ref_a, ref_a_mrr = Kregret_approx.Pipeline.query p ~k in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d served approx selection == offline pipeline" k)
+              ref_a sel_a;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d served approx mrr bit-identical" k)
+              ref_a_mrr mrr_a;
+            let sel_e, mrr_e = or_fail "exact query" (Client.query c ~name:"exact" ~k) in
+            let ref_e, ref_e_mrr = direct_answer dir ~k in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d served exact selection == StoredList" k)
+              ref_e sel_e;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d served exact mrr bit-identical" k)
+              ref_e_mrr mrr_e
+          done;
+          (* warm pass (every k now cached): still each name's own answer —
+             this is the collision probe, both entries share the file
+             fingerprint and differ only in the approx key component *)
+          for k = 1 to min len_apx len_exact do
+            let j = or_fail "cached approx" (Client.query_json c ~name:"apx" ~k) in
+            Alcotest.(check (option bool))
+              (Printf.sprintf "k=%d approx answered from cache" k)
+              (Some true)
+              (Option.bind (Json.member "cached" j) Json.to_bool);
+            let sel_a, mrr_a = or_fail "approx requery" (Client.query c ~name:"apx" ~k) in
+            let ref_a, ref_a_mrr = Kregret_approx.Pipeline.query p ~k in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d cached approx selection uncollided" k)
+              ref_a sel_a;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d cached approx mrr uncollided" k)
+              ref_a_mrr mrr_a;
+            let sel_e, mrr_e = or_fail "exact requery" (Client.query c ~name:"exact" ~k) in
+            let ref_e, ref_e_mrr = direct_answer dir ~k in
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d cached exact selection uncollided" k)
+              ref_e sel_e;
+            Alcotest.check exact_float
+              (Printf.sprintf "k=%d cached exact mrr uncollided" k)
+              ref_e_mrr mrr_e
+          done;
+          (* an approximate dataset is static *)
+          (match Client.insert c ~name:"apx" ~point:[| 0.9; 0.8; 0.7 |] with
+          | Ok _ -> Alcotest.fail "insert into an approx dataset must fail"
+          | Error m ->
+              Alcotest.(check bool)
+                (Printf.sprintf "static_dataset on insert (got %s)" m)
+                true
+                (Testutil.contains m "static_dataset"));
+          (* while the exact twin stays dynamic *)
+          ignore
+            (or_fail "insert into exact twin"
+               (Client.insert c ~name:"exact" ~point:[| 0.9; 0.8; 0.7 |]));
+          (* list reports the approx field on both entries *)
+          let j = or_fail "list" (Client.list_datasets c) in
+          let ds =
+            Option.bind (Json.member "datasets" j) Json.to_list
+            |> Option.value ~default:[]
+          in
+          let approx_of name =
+            List.find_opt
+              (fun d -> Option.bind (Json.member "name" d) Json.to_str = Some name)
+              ds
+            |> Fun.flip Option.bind (Json.member "approx")
+            |> Fun.flip Option.bind Json.to_float
+          in
+          Alcotest.(check (option (float 0.))) "exact approx field" (Some 0.)
+            (approx_of "exact");
+          Alcotest.(check (option (float 0.))) "approx approx field" (Some eps)
+            (approx_of "apx")))
+
 let suite =
   [
     Alcotest.test_case "e2e: selections bit-identical for all k (cold, cached, \
@@ -880,4 +975,7 @@ let suite =
                         widths" `Slow test_shard_merge_across_jobs;
     Alcotest.test_case "poller: shutdown under load cannot hang" `Quick
       test_shutdown_under_load;
+    Alcotest.test_case "approx: served kernels bit-identical to offline, no \
+                        exact/approx cache collisions" `Slow
+      test_approx_load_end_to_end;
   ]
