@@ -18,7 +18,7 @@
    Bench_util.emit_json.
 
    Section ids: table12 table3 fig7 fig8 fig9 fig10 fig11 fig12 fig12c fig13
-   scal ablation micro kernel approx update serve. *)
+   scal ablation micro kernel approx rrr update serve. *)
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -39,6 +39,7 @@ let sections : (string * (unit -> unit)) list =
     ("micro", Exp_micro.run);
     ("kernel", Exp_kernel.run);
     ("approx", Exp_approx.run);
+    ("rrr", Exp_rrr.run);
     ("update", Exp_update.run);
     ("serve", Exp_serve.run);
   ]
@@ -100,6 +101,7 @@ let () =
     Exp_scal.scal_n := 10_000;
     Exp_scal.scal_k := 50;
     Exp_approx.approx_ns := [ 2_000; 20_000 ];
+    Exp_rrr.rrr_n := 3_000;
     Exp_update.update_n := 2_000;
     Exp_update.update_ops := 500;
     Exp_serve.serve_n := 2_000;
@@ -116,6 +118,8 @@ let () =
     Exp_kernel.kernel_n := 2_000;
     Exp_kernel.kernel_k := 20;
     Exp_approx.approx_ns := [ 2_000 ];
+    Exp_rrr.rrr_n := 800;
+    Exp_rrr.rrr_k := 6;
     Exp_update.update_n := 500;
     Exp_update.update_ops := 120;
     Exp_serve.serve_n := 500;

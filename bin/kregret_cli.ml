@@ -454,6 +454,99 @@ let query_list_cmd =
       const run $ list_path $ file_arg2 $ dist_arg $ n_arg 10_000 $ d_arg
       $ seed_arg $ k_arg $ verbose $ obs_term)
 
+(* ---- rrr --------------------------------------------------------------------- *)
+
+module Rrr = Kregret_rrr.Rrr
+
+let rrr_cmd =
+  let run file dist n d seed k budget set verbose jobs obs =
+    wrap @@ fun () ->
+    with_obs obs @@ fun () ->
+    apply_jobs jobs;
+    let ds = load_or_generate file dist n d seed in
+    let points = ds.Dataset.points in
+    match set with
+    | Some spec ->
+        (* evaluate an explicit member set instead of running the greedy *)
+        let ids =
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some i -> i
+              | None -> Fmt.failwith "--set: %S is not a row index" s)
+            (String.split_on_char ',' spec)
+        in
+        let r, t =
+          timed (fun () ->
+              Obs.Span.with_ "cli.rrr" (fun () ->
+                  Rrr.max_rank ~budget ~points (Array.of_list ids)))
+        in
+        Fmt.pr "max rank of {%s} over %s: [%d, %d]%s (%.3fs)@." spec
+          ds.Dataset.name r.Rrr.lo r.Rrr.hi
+          (if r.Rrr.exact then " exact" else "")
+          t;
+        Fmt.pr "witness direction %a attains rank %d@." Kregret_geom.Vector.pp
+          r.Rrr.witness r.Rrr.lo
+    | None ->
+        let eng, t_build =
+          timed (fun () ->
+              Obs.Span.with_ "cli.rrr" (fun () ->
+                  Rrr.build ~budget ~max_size:k points))
+        in
+        let sel, r = Rrr.query eng ~k in
+        Fmt.pr "rank-regret representatives of %s: k=%d@." ds.Dataset.name k;
+        Fmt.pr
+          "candidates=%d  directions=%d (resolution %d)  selected=%d  \
+           build=%.3fs@."
+          (Array.length (Rrr.cand_ids eng))
+          (Rrr.directions eng) (Rrr.resolution eng) (List.length sel) t_build;
+        Fmt.pr "certified max rank in [%d, %d]%s@." r.Rrr.lo r.Rrr.hi
+          (if r.Rrr.exact then " (exact)" else "");
+        if verbose then begin
+          Array.iteri
+            (fun i (b : Rrr.rank) ->
+              Fmt.pr "  prefix %-3d rank in [%d, %d]%s@." (i + 1) b.Rrr.lo
+                b.Rrr.hi
+                (if b.Rrr.exact then " exact" else ""))
+            (Rrr.bounds eng);
+          List.iteri
+            (fun rank i ->
+              Fmt.pr "  #%-3d row %-5d %a@." (rank + 1) i
+                Kregret_geom.Vector.pp points.(i))
+            sel
+        end
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Rrr.default_budget
+      & info [ "budget" ] ~docv:"DIRS"
+          ~doc:
+            "Direction budget for the certification net (d >= 3): the net \
+             resolution is the largest grid whose direction count fits \
+             $(docv). d = 2 is exact regardless.")
+  in
+  let set_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "set" ] ~docv:"I,J,.."
+          ~doc:
+            "Evaluate the certified max rank of an explicit set of row \
+             indices instead of running the greedy selection.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print per-prefix bounds and the tuples.")
+  in
+  Cmd.v
+    (Cmd.info "rrr"
+       ~doc:"Rank-regret representatives: a set in the top-r of every preference")
+    Term.(
+      const run $ file_arg $ dist_arg $ n_arg 2_000 $ d_arg $ seed_arg $ k_arg
+      $ budget_arg $ set_arg $ verbose $ jobs_arg $ obs_term)
+
 (* ---- validate --------------------------------------------------------------- *)
 
 let validate_cmd =
@@ -482,5 +575,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; stats_cmd; query_cmd; sweep_cmd; materialize_cmd;
-            query_list_cmd; validate_cmd;
+            query_list_cmd; rrr_cmd; validate_cmd;
           ]))

@@ -134,17 +134,22 @@ let check_arg =
              ("all", Oracle.All);
              ("dynamic", Oracle.Dynamic_only);
              ("approx", Oracle.Approx_only);
+             ("rrr", Oracle.Rrr_only);
            ])
         Oracle.All
     & info [ "check" ] ~docv:"SUITE"
         ~doc:
           "Which oracle suite to run per instance: $(b,all) (every \
-           differential check, including the dynamic-maintenance and \
-           approximation oracles), $(b,dynamic) (only the fuzzed \
-           insert/delete/query interleavings against the \
-           rebuild-from-scratch pipeline), or $(b,approx) (only the \
+           differential check, including the dynamic-maintenance, \
+           approximation and rank-regret oracles), $(b,dynamic) (only the \
+           fuzzed insert/delete/query interleavings against the \
+           rebuild-from-scratch pipeline), $(b,approx) (only the \
            ε-kernel checks: kernel structure, certified regret bound, \
-           ε-monotonicity, pool-width and shard-tier bit-identity).")
+           ε-monotonicity, pool-width and shard-tier bit-identity), or \
+           $(b,rrr) (only the rank-regret checks: brute-force d=2 \
+           arrangement agreement, witness/net rank re-evaluation, sampled \
+           upper-bound probes, pool-width, shard-tier and wire \
+           bit-identity).")
 
 let metrics_arg =
   Arg.(

@@ -129,7 +129,7 @@ let frame_of_command = function
                 ("id", Serve.Json.int id);
               ])
       | None -> Error (Printf.sprintf "delete: ID must be an integer, got %S" id))
-  | [ op; name; k ] when op = "query" || op = "mrr" -> (
+  | [ op; name; k ] when op = "query" || op = "mrr" || op = "rank_regret" -> (
       match int_of_string_opt k with
       | Some k ->
           Ok
@@ -145,8 +145,8 @@ let frame_of_command = function
         (Printf.sprintf
            "unknown command %S (expected: ping | list | stats | shutdown | \
             evict [NAME] | load NAME PATH [SHARDS] [EPS] | query NAME K | \
-            mrr NAME K | insert NAME P1,P2,.. | delete NAME ID | flush NAME | \
-            wait NAME, or a raw JSON frame)"
+            mrr NAME K | rank_regret NAME K | insert NAME P1,P2,.. | \
+            delete NAME ID | flush NAME | wait NAME, or a raw JSON frame)"
            (String.concat " " cmd))
 
 (* Group the positional words into commands: a word starting with '{' is a
@@ -160,7 +160,7 @@ let rec group_commands = function
         match verb with
         | "ping" | "list" | "stats" | "shutdown" -> Ok 0
         | "wait" | "flush" -> Ok 1
-        | "query" | "mrr" -> Ok 2
+        | "query" | "mrr" | "rank_regret" -> Ok 2
         | "insert" | "delete" -> Ok 2
         | "load" ->
             (* NAME PATH plus a greedy optional SHARDS (integer) and/or EPS
@@ -184,8 +184,8 @@ let rec group_commands = function
                           (List.mem next
                              [
                                "ping"; "list"; "stats"; "shutdown"; "evict";
-                               "load"; "query"; "mrr"; "insert"; "delete";
-                               "flush"; "wait";
+                               "load"; "query"; "mrr"; "rank_regret";
+                               "insert"; "delete"; "flush"; "wait";
                              ]) ->
                   1
               | _ -> 0)
@@ -508,7 +508,8 @@ let commands_arg =
           "Client-mode commands: $(b,ping), $(b,list), $(b,stats), \
            $(b,shutdown), $(b,evict) [NAME], $(b,load) NAME PATH [SHARDS] \
            [EPS], $(b,query) \
-           NAME K, $(b,mrr) NAME K, $(b,insert) NAME P1,P2,.., $(b,delete) \
+           NAME K, $(b,mrr) NAME K, $(b,rank_regret) NAME K, $(b,insert) \
+           NAME P1,P2,.., $(b,delete) \
            NAME ID, $(b,flush) NAME, $(b,wait) NAME, or a raw JSON frame \
            (anything starting with '{'). A bare numeric third word after \
            $(b,load) is SHARDS when an integer, EPS when a float.")
@@ -524,6 +525,11 @@ let cmd =
          the background, then answers every $(i,query)/$(i,mrr) request as \
          an O(k) StoredList prefix read — with an LRU result cache and \
          single-flight coalescing of concurrent identical queries on top. \
+         $(i,rank_regret) requests answer the sibling rank-regret \
+         representative query (lib/rrr/rrr.mli): a <= K subset minimizing \
+         the certified max rank over every linear preference, cached under \
+         its own key kind so rank certificates and regret selections never \
+         collide. \
          Loaded datasets are dynamic: $(i,insert)/$(i,delete)/$(i,flush) \
          requests apply incremental maintenance (lib/core/dynamic.mli) on \
          the server's build worker, and queries key on the dataset epoch so \

@@ -11,7 +11,7 @@ module Optimal2d = Kregret.Optimal2d
 module Mrr = Kregret.Mrr
 module Invariants = Kregret.Invariants
 
-type suite = All | Dynamic_only | Approx_only
+type suite = All | Dynamic_only | Approx_only | Rrr_only
 
 type config = { samples : int; jobs_hi : int; suite : suite }
 
@@ -43,6 +43,16 @@ let check_names =
     "approx-monotone";
     "approx-jobs";
     "approx-shards";
+    "rrr-structure";
+    "rrr-monotone";
+    "rrr-whole";
+    "rrr-2d";
+    "rrr-witness";
+    "rrr-net";
+    "rrr-sample";
+    "rrr-jobs";
+    "rrr-shards";
+    "rrr-serve";
     "exception";
   ]
 
@@ -323,11 +333,19 @@ let check_approx cfg inst =
     (fun (check, message) -> { check; message })
     (Approx_oracle.check ~jobs_hi:cfg.jobs_hi inst)
 
+let check_rrr cfg inst =
+  List.map
+    (fun (check, message) -> { check; message })
+    (Rrr_oracle.check ~jobs_hi:cfg.jobs_hi inst)
+
 let check_suite cfg inst =
   match cfg.suite with
   | Dynamic_only -> check_dynamic cfg inst
   | Approx_only -> check_approx cfg inst
-  | All -> check_inner cfg inst @ check_dynamic cfg inst @ check_approx cfg inst
+  | Rrr_only -> check_rrr cfg inst
+  | All ->
+      check_inner cfg inst @ check_dynamic cfg inst @ check_approx cfg inst
+      @ check_rrr cfg inst
 
 module Obs = Kregret_obs
 

@@ -42,14 +42,23 @@
       kernel structure and per-direction maxima, the certified regret
       bound, ε-monotonicity, pool-width bit-identity and shard-tier
       equivalence (see {!Approx_oracle});
+    - [rrr-structure] / [rrr-monotone] / [rrr-whole] / [rrr-2d] /
+      [rrr-witness] / [rrr-net] / [rrr-sample] / [rrr-jobs] /
+      [rrr-shards] / [rrr-serve] — the rank-regret query family:
+      candidate funnel and certified-interval structure, lo
+      monotonicity, an independent cell-by-cell d = 2 arrangement
+      evaluator, witness/net re-evaluation, sampled upper-bound probes,
+      pool-width and shard-tier bit-identity, and wire parity of the
+      [rank_regret] verb (see {!Rrr_oracle});
     - [exception] — no component raised.
 
     All tie comparisons go through {!Tolerance.tie}. *)
 
-(** Which checks to run: the full battery, only the dynamic-maintenance
-    oracle, or only the approximation oracle (the [--check dynamic] /
-    [--check approx] fast paths of [kregret_fuzz]). *)
-type suite = All | Dynamic_only | Approx_only
+(** Which checks to run: the full battery, or only the
+    dynamic-maintenance, approximation, or rank-regret oracles (the
+    [--check dynamic] / [--check approx] / [--check rrr] fast paths of
+    [kregret_fuzz]). *)
+type suite = All | Dynamic_only | Approx_only | Rrr_only
 
 type config = {
   samples : int;  (** Monte-Carlo budget for the sampled-bound check *)

@@ -3,6 +3,7 @@ module Csv_io = Kregret_dataset.Csv_io
 module Skyline = Kregret_skyline.Skyline
 module Happy = Kregret_happy.Happy
 module Stored_list = Kregret.Stored_list
+module Rrr = Kregret_rrr.Rrr
 module Serve = Kregret_serve
 
 (* The serving subsystem must answer with the same bits it would have
@@ -114,9 +115,14 @@ let check inst =
                               + inst.Instance.id + 1)
                           in
                           let k_hi = max 1 (min inst.Instance.k max_length) in
+                          (* built on first use; prefix-stability makes
+                             one engine at k_hi answer every smaller k *)
+                          let rrr_eng =
+                            lazy (Rrr.build ~max_size:k_hi inst.Instance.points)
+                          in
                           for _ = 1 to 12 do
                             let k = 1 + Rng.int rng k_hi in
-                            match Rng.int rng 6 with
+                            match Rng.int rng 7 with
                             | 0 | 1 | 2 -> (
                                 let want_sel, want_mrr = expected_answer e ~k in
                                 match Serve.Client.query c ~name ~k with
@@ -149,6 +155,30 @@ let check inst =
                                         "mrr k=%d answered %.17g, offline %.17g"
                                         k mrr want_mrr)
                             | 4 -> (
+                                let sel_ref, r_ref =
+                                  Rrr.query (Lazy.force rrr_eng) ~k
+                                in
+                                let want =
+                                  ( sel_ref,
+                                    r_ref.Rrr.lo,
+                                    r_ref.Rrr.hi,
+                                    r_ref.Rrr.exact )
+                                in
+                                match Serve.Client.rank_regret c ~name ~k with
+                                | Error m ->
+                                    fail "serve" "rank_regret k=%d: %s" k m
+                                | Ok got ->
+                                    if got <> want then begin
+                                      let sel, lo, hi, exact = got in
+                                      let _, wlo, whi, wex = want in
+                                      fail "serve"
+                                        "rank_regret k=%d answered [%s] [%d, \
+                                         %d] exact=%b, offline engine says \
+                                         [%s] [%d, %d] exact=%b"
+                                        k (pp_sel sel) lo hi exact
+                                        (pp_sel sel_ref) wlo whi wex
+                                    end)
+                            | 5 -> (
                                 match Serve.Client.evict c () with
                                 | Error m -> fail "serve" "evict: %s" m
                                 | Ok _ -> ())

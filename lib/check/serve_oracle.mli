@@ -2,9 +2,10 @@
 
     Spins up an in-process server on a temp socket, loads the instance's
     points as a CSV dataset and drives a deterministic random interleaving
-    of [query]/[mrr]/[evict]/[list] requests over the wire, asserting that
-    every served answer is {e bit-identical} to an offline
-    {!Kregret.Stored_list} computation on the same points — through the
+    of [query]/[mrr]/[rank_regret]/[evict]/[list] requests over the wire,
+    asserting that every served answer is {e bit-identical} to an offline
+    computation on the same points ({!Kregret.Stored_list} for
+    [query]/[mrr], {!Kregret_rrr.Rrr} for [rank_regret]) — through the
     cache, through evictions, at every probed [k]. A protocol-abuse tail
     sends malformed frames and requires structured errors (known codes) on
     a connection that keeps serving.

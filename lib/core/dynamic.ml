@@ -179,11 +179,14 @@ module Snapshot = struct
     sn_live : int;
     sn_ids : int array; (* stored order, as external ids *)
     sn_mrr : float array; (* mrr of each prefix *)
+    sn_basis_ids : int array; (* live external ids, insertion order *)
+    sn_basis : Kregret_geom.Vector.t array; (* live rows, same order *)
   }
 
   let epoch s = s.sn_epoch
   let live s = s.sn_live
   let stored_length s = Array.length s.sn_ids
+  let basis s = (s.sn_basis_ids, s.sn_basis)
 
   let query s ~k =
     if k < 1 then invalid_arg "Dynamic.Snapshot.query: k must be positive";
@@ -206,7 +209,15 @@ let snapshot t =
     | None -> [||]
     | Some s -> Array.init (Stored_list.length s) (fun i -> Stored_list.mrr_at s ~k:(i + 1))
   in
-  { Snapshot.sn_epoch = t.epoch; sn_live = t.live; sn_ids = ids; sn_mrr = mrr }
+  let pairs = live_points t in
+  {
+    Snapshot.sn_epoch = t.epoch;
+    sn_live = t.live;
+    sn_ids = ids;
+    sn_mrr = mrr;
+    sn_basis_ids = Array.map fst pairs;
+    sn_basis = Array.map snd pairs;
+  }
 
 (* ---- stored-list maintenance --------------------------------------------- *)
 

@@ -115,6 +115,12 @@ module Snapshot : sig
   val stored_length : t -> int
   val query : t -> k:int -> int list * float
   val mrr_at : t -> k:int -> float
+
+  (** [basis s] — the live [(ids, rows)] the snapshot was published from,
+      insertion order (the same pairing as {!live_points}): the input the
+      serve layer hands sibling query engines (rank-regret) so their
+      answers track updates epoch for epoch. *)
+  val basis : t -> int array * Kregret_geom.Vector.t array
 end
 
 val snapshot : t -> Snapshot.t

@@ -34,7 +34,12 @@ let anti_correlated rng ~n ~d =
       in
       let raw = Array.init d (fun _ -> 0.05 +. Rng.float rng) in
       let s = Array.fold_left ( +. ) 0. raw in
-      Array.map (fun x -> clamp01 (x *. total /. s)) raw)
+      (* no upper clamp (see correlated): saturating at 1.0 forges
+         plateaus of tied coordinates and — at d = 2, where a draw with
+         total >= 2 caps to all-ones — a point dominating the whole
+         dataset, collapsing the skyline to size 1; normalization
+         rescales instead *)
+      Array.map (fun x -> Float.max 1e-6 (x *. total /. s)) raw)
 
 (* household: 6 economic attributes — two correlated blocks (income-ish,
    heavy-tailed) plus independent uniform attributes. Produces the paper's

@@ -183,6 +183,22 @@ let mrr ?(retries = 200) t ~name ~k =
       | Some m -> Ok m
       | None -> Error ("mrr response missing mrr: " ^ Json.to_string j))
 
+let rank_regret ?(retries = 200) t ~name ~k =
+  with_building_retry ~retries t ~op:"rank_regret" ~name ~k (fun j ->
+      let selection =
+        Option.bind (Json.member "selection" j) Json.to_list
+        |> Option.map (List.filter_map Json.to_int)
+      in
+      let lo = Option.bind (Json.member "rank_lo" j) Json.to_int in
+      let hi = Option.bind (Json.member "rank_hi" j) Json.to_int in
+      let exact =
+        Option.bind (Json.member "exact" j) (fun v ->
+            match v with Json.Bool b -> Some b | _ -> None)
+      in
+      match (selection, lo, hi, exact) with
+      | Some sel, Some lo, Some hi, Some exact -> Ok (sel, lo, hi, exact)
+      | _ -> Error ("rank_regret response missing fields: " ^ Json.to_string j))
+
 (* ---- dynamic updates ------------------------------------------------------ *)
 
 let insert ?(retries = 200) t ~name ~point =

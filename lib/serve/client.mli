@@ -69,6 +69,19 @@ val query_json : t -> name:string -> k:int -> (Json.t, string) result
 
 val mrr : ?retries:int -> t -> name:string -> k:int -> (float, string) result
 
+(** [rank_regret t ~name ~k] — the rank-regret representative answer
+    [(selection, rank_lo, rank_hi, exact)]: a [<= k]-subset (original
+    dataset row indices, greedy order) whose max rank over every linear
+    preference is certified to lie in [\[rank_lo, rank_hi\]] ([exact]
+    when the interval is a point — always in d <= 2). Retries on
+    [building] like {!query}. *)
+val rank_regret :
+  ?retries:int ->
+  t ->
+  name:string ->
+  k:int ->
+  (int list * int * int * bool, string) result
+
 (** {1 Dynamic updates}
 
     Each blocks until the server has applied the op and republished a

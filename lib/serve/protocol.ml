@@ -14,6 +14,7 @@ type request =
     }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
+  | Rank_regret of { name : string; k : int }
   | Evict of { name : string option }
   | Insert of { name : string; point : float array }
   | Delete of { name : string; id : int }
@@ -131,6 +132,10 @@ let parse_request ?(max_line = default_max_line) line =
                 let* name = field_str obj "name" in
                 let* k = field_k obj in
                 Ok (Mrr { name; k })
+            | Some "rank_regret" ->
+                let* name = field_str obj "name" in
+                let* k = field_k obj in
+                Ok (Rank_regret { name; k })
             | Some "insert" ->
                 let* name = field_str obj "name" in
                 let* point = field_point obj in

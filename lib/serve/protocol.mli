@@ -23,6 +23,11 @@
                                               composes with "shards"
       {"op":"query","name":NAME,"k":K}        k-regret selection + its mrr
       {"op":"mrr","name":NAME,"k":K}          mrr only
+      {"op":"rank_regret","name":NAME,"k":K}  rank-regret representatives:
+                                              a <= K subset minimizing the
+                                              certified max rank, with its
+                                              [rank_lo]/[rank_hi]/[exact]
+                                              certificate
       {"op":"list"}                           registry contents + statuses
       {"op":"stats"}                          cache/batch/server statistics
       {"op":"evict"}                          clear the result cache
@@ -74,6 +79,7 @@ type request =
     }
   | Query of { name : string; k : int }
   | Mrr of { name : string; k : int }
+  | Rank_regret of { name : string; k : int }
   | Evict of { name : string option }
   | Insert of { name : string; point : float array }
   | Delete of { name : string; id : int }

@@ -58,6 +58,25 @@ let backend_mrr_at b ~k =
   | Solo s -> Dynamic.Snapshot.mrr_at s ~k
   | Sharded sh -> Shard.mrr_at sh ~k
 
+(* Rank-regret rides the same published surfaces: solo answers run the
+   engine over the snapshot's live basis (so they track updates epoch for
+   epoch, and a fresh unmutated dataset reproduces the offline engine bit
+   for bit — the basis is then the normalized rows in file order); sharded
+   answers delegate to the tier's retained inputs. The engine's greedy
+   prefix is max_size-stable, so per-k builds compose across cache keys. *)
+let backend_rank_regret b ~k =
+  match b with
+  | Solo s ->
+      let ids, rows = Dynamic.Snapshot.basis s in
+      if Array.length rows = 0 then
+        invalid_arg "rank_regret: dataset has no live points"
+      else begin
+        let eng = Kregret_rrr.Rrr.build ~max_size:k rows in
+        let sel, rank = Kregret_rrr.Rrr.query eng ~k in
+        (List.map (fun r -> ids.(r)) sel, rank)
+      end
+  | Sharded sh -> Shard.rank_regret sh ~k
+
 (* sharded datasets are static, so epoch 0 forever is honest — nothing a
    cache keyed on it could miss *)
 let backend_epoch = function Solo s -> Dynamic.Snapshot.epoch s | Sharded _ -> 0

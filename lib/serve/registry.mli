@@ -61,6 +61,15 @@ type built = {
 
 val backend_query : backend -> k:int -> int list * float
 val backend_mrr_at : backend -> k:int -> float
+
+(** [backend_rank_regret b ~k] — the rank-regret representative answer of
+    the published backend: solo backends run {!Kregret_rrr.Rrr} over the
+    snapshot's live basis (answers track updates epoch for epoch; a fresh
+    unmutated dataset reproduces the offline engine bit for bit), sharded
+    backends use {!Shard.rank_regret}. Raises [Invalid_argument] when no
+    live points remain. *)
+val backend_rank_regret :
+  backend -> k:int -> int list * Kregret_rrr.Rrr.rank
 val backend_epoch : backend -> int
 val backend_live : backend -> int
 val backend_stored_length : backend -> int

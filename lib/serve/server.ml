@@ -45,8 +45,13 @@ let config ?(cache_capacity = 128) ?(max_line = Protocol.default_max_line)
     approx;
   }
 
-(* cache values: one shape for both [query] (selection + mrr) and [mrr] *)
-type cached = { c_selection : int list option; c_mrr : float }
+(* cache values: one shape for [query] (selection + mrr), [mrr], and
+   [rank_regret] (selection + certificate; c_mrr unused) *)
+type cached = {
+  c_selection : int list option;
+  c_mrr : float;
+  c_rank : (int * int * bool) option;  (* rank_lo, rank_hi, exact *)
+}
 
 (* cache/batch key: (fingerprint, shards, approx, epoch, k, kind). The
    epoch is the dataset's answer version, so an insert/delete invalidates
@@ -209,6 +214,7 @@ let handle_query t ~name ~k ~kind =
                               c_selection =
                                 (if kind = "query" then Some ids else None);
                               c_mrr = mrr;
+                              c_rank = None;
                             }
                           in
                           with_lock t.cache_mutex (fun () ->
@@ -234,6 +240,86 @@ let handle_query t ~name ~k ~kind =
                 | None -> base
               in
               Protocol.ok_response fields))
+
+(* rank_regret: the same cache/batch skeleton as [handle_query], with the
+   sibling engine behind it. The key's kind dimension ("rank_regret" vs
+   "query"/"mrr") keeps the two query families from sharing rows at equal
+   (fingerprint, shards, approx, epoch, k) — a rank certificate and a
+   regret selection at the same k are different answers. *)
+let handle_rank_regret t ~name ~k =
+  match Registry.find t.reg name with
+  | None ->
+      error t
+        (Protocol.err ~code:"not_found"
+           (Printf.sprintf "dataset %S is not loaded" name))
+  | Some info -> (
+      match info.Registry.status with
+      | Registry.Building ->
+          error t ~retry_after:t.cfg.retry_after
+            (Protocol.err ~code:"building"
+               (Printf.sprintf "dataset %S is still building" name))
+      | Registry.Failed m ->
+          error t
+            (Protocol.err ~code:"build_failed"
+               (Printf.sprintf "dataset %S failed to build: %s" name m))
+      | Registry.Ready b -> (
+          match Registry.fresh t.reg info with
+          | Error m -> error t (Protocol.err ~code:"stale_dataset" m)
+          | Ok () ->
+              let backend = b.Registry.backend in
+              let key =
+                ( info.Registry.fingerprint,
+                  info.Registry.shards,
+                  info.Registry.approx,
+                  Registry.backend_epoch backend,
+                  k,
+                  "rank_regret" )
+              in
+              let hit = with_lock t.cache_mutex (fun () -> Lru.get t.cache key) in
+              let value, cached, coalesced =
+                match hit with
+                | Some v -> (v, true, false)
+                | None ->
+                    let v, coalesced =
+                      Batcher.run t.batcher ~key (fun () ->
+                          let ids, rank =
+                            Registry.backend_rank_regret backend ~k
+                          in
+                          let v =
+                            {
+                              c_selection = Some ids;
+                              c_mrr = 0.;
+                              c_rank =
+                                Some
+                                  ( rank.Kregret_rrr.Rrr.lo,
+                                    rank.Kregret_rrr.Rrr.hi,
+                                    rank.Kregret_rrr.Rrr.exact );
+                            }
+                          in
+                          with_lock t.cache_mutex (fun () ->
+                              Lru.put t.cache key v);
+                          v)
+                    in
+                    (v, false, coalesced)
+              in
+              let lo, hi, exact =
+                match value.c_rank with
+                | Some c -> c
+                | None -> (0, 0, false)  (* unreachable: rrr rows carry c_rank *)
+              in
+              let sel = Option.value value.c_selection ~default:[] in
+              Protocol.ok_response
+                [
+                  ("op", Json.Str "rank_regret");
+                  ("name", Json.Str name);
+                  ("k", Json.int k);
+                  ("selection", Json.Arr (List.map Json.int sel));
+                  ("rank_lo", Json.int lo);
+                  ("rank_hi", Json.int hi);
+                  ("exact", Json.Bool exact);
+                  ("cached", Json.Bool cached);
+                  ("coalesced", Json.Bool coalesced);
+                ]))
 
 (* insert/delete/flush: hand the op to the registry worker and block this
    worker thread until the incremental repair is published. [building]
@@ -353,6 +439,8 @@ let handle_request t line =
         | Protocol.Query { name; k } ->
             (handle_query t ~name ~k ~kind:"query", false)
         | Protocol.Mrr { name; k } -> (handle_query t ~name ~k ~kind:"mrr", false)
+        | Protocol.Rank_regret { name; k } ->
+            (handle_rank_regret t ~name ~k, false)
         | Protocol.Insert { name; point } ->
             (handle_update t ~name ~kind:"insert" (`Insert point), false)
         | Protocol.Delete { name; id } ->

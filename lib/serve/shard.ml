@@ -30,6 +30,16 @@ type t = {
   s_n_happy : int;
   s_approx : float;  (* requested ε; 0. = exact *)
   s_kernel : int;  (* global kernel size; 0 = exact *)
+  s_points : Vector.t array;  (* the full normalized input (shared, not copied) *)
+  s_sky_ids : int array;
+      (* merged skyline, original row ids — bit-identical to the
+         monolithic skyline in exact mode (the shard-merge invariant),
+         the kernel-restricted skyline in approx mode. Sibling query
+         engines (rank-regret) take these as their candidate set: the
+         skyline is rank-complete, the happy funnel is not. *)
+  s_happy_ids : int array;
+      (* merged happy set, original row ids — same invariant, one
+         funnel stage further down. *)
 }
 
 (* one shard's slice of the pipeline; [off] maps chunk rows back to
@@ -106,6 +116,7 @@ let create ?eps ?max_length ?approx ~shards points =
   in
   let sky_idx = Skyline.naive gather_vecs in
   let sky_vecs = Array.map (fun i -> gather_vecs.(i)) sky_idx in
+  let sky_ids = Array.map (fun i -> gather_ids.(i)) sky_idx in
   let hap_idx = Happy.happy_points ?eps sky_vecs in
   let hap_ids = Array.map (fun i -> gather_ids.(sky_idx.(i))) hap_idx in
   let hap_vecs = Array.map (fun i -> sky_vecs.(i)) hap_idx in
@@ -129,6 +140,9 @@ let create ?eps ?max_length ?approx ~shards points =
     s_n_happy = Array.length hap_ids;
     s_approx = (match approx with None -> 0. | Some a -> a);
     s_kernel = kernel_size;
+    s_points = points;
+    s_sky_ids = sky_ids;
+    s_happy_ids = hap_ids;
   }
 
 let shards t = Array.length t.s_locals
@@ -151,6 +165,19 @@ let mrr_at t ~k =
   if k < 1 then invalid_arg "Shard.mrr_at: k must be positive";
   let len = Array.length t.s_ids in
   if len = 0 then 0. else t.s_mrr.(min k len - 1)
+
+let happy_ids t = Array.copy t.s_happy_ids
+
+(* Rank-regret over the sharded tier: the merged skyline is the
+   candidate pool and the full retained input is the ranking universe, so
+   the engine sees exactly the monolithic inputs — answers are
+   bit-identical to a solo build for every shard count. *)
+let rank_regret t ~k =
+  if k < 1 then invalid_arg "Shard.rank_regret: k must be positive";
+  let eng =
+    Kregret_rrr.Rrr.build ~max_size:k ~candidates:t.s_sky_ids t.s_points
+  in
+  Kregret_rrr.Rrr.query eng ~k
 
 let local_sizes t =
   Array.map

@@ -87,6 +87,20 @@ val query : t -> k:int -> int list * float
 
 val mrr_at : t -> k:int -> float
 
+val happy_ids : t -> int array
+(** The merged happy set as original row ids — bit-identical to the
+    monolithic happy set in exact mode (the merge argument above), the
+    kernel-restricted happy set in approx mode. *)
+
+val rank_regret : t -> k:int -> int list * Kregret_rrr.Rrr.rank
+(** Rank-regret representative query over the sharded tier: a greedy
+    [<= k]-subset of the merged skyline (the rank-complete candidate
+    class — {!Kregret_rrr.Rrr.build}) minimizing the certified max rank
+    over the {e full} dataset (the tier retains its input rows), and
+    that prefix's certified rank. Candidates and universe equal the
+    monolithic engine's, so answers are bit-identical to
+    {!Kregret_rrr.Rrr.build} + [query] at every shard count. *)
+
 val local_sizes : t -> (int * int * int) array
 (** Per shard, [(rows, local skyline size, local happy size)] — the
     scatter phase's shape, for [stats]/[list] reporting. *)

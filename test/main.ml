@@ -37,5 +37,6 @@ let () =
       ("obs", Test_obs.suite);
       ("lru", Test_lru.suite);
       ("serve", Test_serve.suite);
+      ("rrr", Test_rrr.suite);
       ("corpus", Test_corpus.suite);
     ]
